@@ -1,0 +1,125 @@
+// Microbenchmarks of the LP substrate (google-benchmark): the simplex
+// solver on the RL-SPM / BL-SPM relaxations that dominate Metis's runtime,
+// and the branch & bound solver on small exact instances.  These quantify
+// the substitution of Gurobi by our own solver (DESIGN.md section 2).
+#include <benchmark/benchmark.h>
+
+#include "core/lp_builder.h"
+#include "lp/mip.h"
+#include "lp/presolve.h"
+#include "lp/simplex.h"
+#include "sim/scenario.h"
+
+namespace {
+
+using namespace metis;
+
+core::SpmInstance instance_for(int k, sim::Network net) {
+  sim::Scenario s;
+  s.network = net;
+  s.num_requests = k;
+  s.seed = 1;
+  return sim::make_instance(s);
+}
+
+void BM_RlSpmRelaxation_B4(benchmark::State& state) {
+  const auto instance =
+      instance_for(static_cast<int>(state.range(0)), sim::Network::B4);
+  const auto model = core::build_rl_spm(instance);
+  const lp::SimplexSolver solver;
+  for (auto _ : state) {
+    const auto sol = solver.solve(model.problem);
+    benchmark::DoNotOptimize(sol.objective);
+  }
+  state.counters["rows"] = model.problem.num_rows();
+  state.counters["cols"] = model.problem.num_variables();
+}
+BENCHMARK(BM_RlSpmRelaxation_B4)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(200)
+    ->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BlSpmRelaxation_B4(benchmark::State& state) {
+  const auto instance =
+      instance_for(static_cast<int>(state.range(0)), sim::Network::B4);
+  core::ChargingPlan caps;
+  caps.units.assign(instance.num_edges(), 10);
+  const auto model = core::build_bl_spm(instance, caps);
+  const lp::SimplexSolver solver;
+  for (auto _ : state) {
+    const auto sol = solver.solve(model.problem);
+    benchmark::DoNotOptimize(sol.objective);
+  }
+}
+BENCHMARK(BM_BlSpmRelaxation_B4)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(200)
+    ->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ModelBuild_B4(benchmark::State& state) {
+  const auto instance =
+      instance_for(static_cast<int>(state.range(0)), sim::Network::B4);
+  for (auto _ : state) {
+    const auto model = core::build_rl_spm(instance);
+    benchmark::DoNotOptimize(model.problem.num_rows());
+  }
+}
+BENCHMARK(BM_ModelBuild_B4)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+
+void BM_Presolve_B4(benchmark::State& state) {
+  const auto instance =
+      instance_for(static_cast<int>(state.range(0)), sim::Network::B4);
+  const auto model = core::build_rl_spm(instance);
+  for (auto _ : state) {
+    const auto pr = lp::presolve(model.problem);
+    benchmark::DoNotOptimize(pr.reduced.num_rows());
+  }
+  const auto pr = lp::presolve(model.problem);
+  state.counters["removed_rows"] = pr.removed_rows;
+  state.counters["removed_cols"] = pr.removed_columns;
+}
+BENCHMARK(BM_Presolve_B4)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+
+void BM_RlSpmPresolvedSolve_B4(benchmark::State& state) {
+  const auto instance =
+      instance_for(static_cast<int>(state.range(0)), sim::Network::B4);
+  const auto model = core::build_rl_spm(instance);
+  const auto pr = lp::presolve(model.problem);
+  const lp::SimplexSolver solver;
+  for (auto _ : state) {
+    const auto sol = solver.solve(pr.reduced);
+    benchmark::DoNotOptimize(sol.objective);
+  }
+}
+BENCHMARK(BM_RlSpmPresolvedSolve_B4)
+    ->Arg(100)
+    ->Arg(200)
+    ->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MipExact_SubB4(benchmark::State& state) {
+  const auto instance =
+      instance_for(static_cast<int>(state.range(0)), sim::Network::SubB4);
+  const auto model = core::build_spm(instance);
+  lp::MipOptions options;
+  options.max_nodes = 20000;
+  options.time_limit_seconds = 10;
+  const lp::MipSolver solver(options);
+  for (auto _ : state) {
+    const auto result = solver.solve(model.problem, model.integer_columns());
+    benchmark::DoNotOptimize(result.objective);
+    state.counters["nodes"] = static_cast<double>(result.nodes);
+  }
+}
+BENCHMARK(BM_MipExact_SubB4)
+    ->Arg(10)
+    ->Arg(15)
+    ->Arg(20)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace

@@ -1,0 +1,34 @@
+// Shared helpers for the figure-reproduction bench binaries.
+//
+// Every table bench accepts an optional `--csv` flag that switches output
+// from aligned ASCII tables to RFC-4180 CSV (for plotting scripts).
+#pragma once
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "util/table.h"
+
+namespace metis::bench {
+
+inline bool csv_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) return true;
+  }
+  return false;
+}
+
+/// Prints the table in the selected format.  In CSV mode `title` becomes a
+/// comment line so multiple tables in one output stay distinguishable.
+inline void emit(const TablePrinter& table, bool csv, const std::string& title) {
+  if (csv) {
+    if (!title.empty()) std::cout << "# " << title << '\n';
+    std::cout << table.to_csv() << '\n';
+  } else {
+    if (!title.empty()) std::cout << "--- " << title << " ---\n";
+    table.print(std::cout);
+  }
+}
+
+}  // namespace metis::bench

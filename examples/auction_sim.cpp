@@ -1,0 +1,80 @@
+// auction_sim: the paper's cloud operational model in action.
+//
+// Section I motivates SPM with the first-price sealed-bid auction: customers
+// submit transfer requirements and bids *simultaneously*, and the provider
+// evaluates the whole book at once, accepting the subset that maximizes its
+// service profit.  This example simulates several auction rounds and
+// contrasts three provider policies on the same bid book:
+//
+//   accept-all  — today's service mode (serve everyone, buy whatever WAN
+//                 bandwidth that takes);
+//   greedy      — EcoFlow-style one-by-one profit test;
+//   Metis       — the paper's alternate optimization.
+//
+//   $ ./auction_sim --rounds 3 --bidders 120 --seed 42
+#include <iostream>
+
+#include "baselines/ecoflow.h"
+#include "core/maa.h"
+#include "core/metis.h"
+#include "sim/scenario.h"
+#include "util/args.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace metis;
+  ArgParser args(argc, argv);
+  const int rounds = args.get_int("rounds", 3);
+  const int bidders = args.get_int("bidders", 120);
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  if (args.help_requested()) {
+    std::cout << args.usage("auction_sim: sealed-bid bandwidth auctions");
+    return 0;
+  }
+  args.finish();
+
+  TablePrinter table({"round", "policy", "winners", "revenue", "cost",
+                      "profit"});
+  for (int round = 0; round < rounds; ++round) {
+    sim::Scenario scenario;
+    scenario.network = sim::Network::B4;
+    scenario.num_requests = bidders;
+    scenario.seed = seed + round;
+    const core::SpmInstance instance = sim::make_instance(scenario);
+
+    // Policy 1: accept-all (the current service mode).  Route as cheaply as
+    // MAA can and pay whatever it costs.
+    Rng rng(seed * 31 + round);
+    core::MaaOptions maa_options;
+    maa_options.rounding_trials = 8;
+    const core::MaaResult all = core::run_maa(instance, {}, rng, maa_options);
+    if (all.ok()) {
+      const auto pb = core::evaluate_with_plan(instance, all.schedule, all.plan);
+      table.add_row({static_cast<long long>(round), std::string("accept-all"),
+                     static_cast<long long>(pb.accepted), pb.revenue, pb.cost,
+                     pb.profit});
+    }
+
+    // Policy 2: greedy one-by-one profit test (EcoFlow-style).
+    const baselines::EcoFlowResult greedy = baselines::run_ecoflow(instance);
+    table.add_row({static_cast<long long>(round), std::string("greedy"),
+                   static_cast<long long>(greedy.accepted), greedy.revenue,
+                   greedy.cost, greedy.profit});
+
+    // Policy 3: Metis.
+    core::MetisOptions options;
+    options.theta = 24;
+    const core::MetisResult metis = core::run_metis(instance, rng, options);
+    table.add_row({static_cast<long long>(round), std::string("Metis"),
+                   static_cast<long long>(metis.best.accepted),
+                   metis.best.revenue, metis.best.cost, metis.best.profit});
+  }
+
+  std::cout << "Sealed-bid auction: " << bidders
+            << " bidders per round, B4 WAN\n\n";
+  table.print(std::cout);
+  std::cout << "The auction winner set differs per policy; Metis's selective\n"
+               "acceptance converts the same bid book into higher profit.\n";
+  return 0;
+}

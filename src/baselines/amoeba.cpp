@@ -1,0 +1,50 @@
+#include "baselines/amoeba.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace metis::baselines {
+
+AmoebaResult run_amoeba(const core::SpmInstance& instance,
+                        const core::ChargingPlan& capacities,
+                        const AmoebaOptions& options) {
+  if (static_cast<int>(capacities.units.size()) != instance.num_edges()) {
+    throw std::invalid_argument("run_amoeba: capacity size mismatch");
+  }
+  AmoebaResult result;
+  result.schedule = core::Schedule::all_declined(instance.num_requests());
+  core::LoadMatrix loads(instance.num_edges(), instance.num_slots());
+
+  // Arrival order: by start slot, ties by index (stable online order).
+  std::vector<int> order(instance.num_requests());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return instance.request(a).start_slot < instance.request(b).start_slot;
+  });
+
+  for (int i : order) {
+    const workload::Request& r = instance.request(i);
+    const int path_limit = options.multipath ? instance.num_paths(i) : 1;
+    for (int j = 0; j < path_limit; ++j) {
+      bool fits = true;
+      for (net::EdgeId e : instance.paths(i)[j].edges) {
+        for (int t = r.start_slot; t <= r.end_slot && fits; ++t) {
+          if (loads.at(e, t) + r.rate > capacities.units[e] + 1e-9) fits = false;
+        }
+        if (!fits) break;
+      }
+      if (!fits) continue;
+      for (net::EdgeId e : instance.paths(i)[j].edges) {
+        for (int t = r.start_slot; t <= r.end_slot; ++t) loads.add(e, t, r.rate);
+      }
+      result.schedule.path_choice[i] = j;
+      break;
+    }
+  }
+  result.revenue = core::revenue(instance, result.schedule);
+  result.accepted = result.schedule.num_accepted();
+  return result;
+}
+
+}  // namespace metis::baselines

@@ -1,0 +1,35 @@
+// Amoeba baseline [20], as adapted by the paper's evaluation (Section V.B.2):
+// an online inter-DC scheduler that, under a fixed amount of bandwidth,
+// admits user requests one by one (in arrival order) whenever the residual
+// bandwidth can accommodate them, "without considering future requests".
+//
+// Following that description, the default admission checks the request's
+// primary (min-price) route only; `multipath = true` enables a stronger
+// first-fit over all candidate paths (used by the ablation bench).
+#pragma once
+
+#include "core/accounting.h"
+#include "core/instance.h"
+#include "core/schedule.h"
+
+namespace metis::baselines {
+
+struct AmoebaOptions {
+  /// false (paper's comparator): admit on the primary path or decline.
+  /// true: first-fit across all candidate paths.
+  bool multipath = false;
+};
+
+struct AmoebaResult {
+  core::Schedule schedule;
+  double revenue = 0;
+  int accepted = 0;
+};
+
+/// Admits requests greedily under fixed per-edge capacities, processing them
+/// by nondecreasing start slot (arrival order).
+AmoebaResult run_amoeba(const core::SpmInstance& instance,
+                        const core::ChargingPlan& capacities,
+                        const AmoebaOptions& options = {});
+
+}  // namespace metis::baselines

@@ -1,0 +1,65 @@
+#include "baselines/ecoflow.h"
+
+#include <cmath>
+
+namespace metis::baselines {
+
+namespace {
+
+/// Increase in total charged cost if request i were routed on path j, given
+/// the committed loads.
+double incremental_cost(const core::SpmInstance& instance,
+                        const core::LoadMatrix& loads, int i, int j) {
+  const workload::Request& r = instance.request(i);
+  double delta = 0;
+  for (net::EdgeId e : instance.paths(i)[j].edges) {
+    double peak_before = loads.peak(e);
+    // Peak after adding r over the request's window on this edge.
+    double peak_after = peak_before;
+    for (int t = r.start_slot; t <= r.end_slot; ++t) {
+      peak_after = std::max(peak_after, loads.at(e, t) + r.rate);
+    }
+    const double units_before = std::ceil(peak_before - 1e-9);
+    const double units_after = std::ceil(peak_after - 1e-9);
+    delta += instance.topology().edge(e).price * (units_after - units_before);
+  }
+  return delta;
+}
+
+}  // namespace
+
+EcoFlowResult run_ecoflow(const core::SpmInstance& instance) {
+  EcoFlowResult result;
+  result.schedule = core::Schedule::all_declined(instance.num_requests());
+  core::LoadMatrix loads(instance.num_edges(), instance.num_slots());
+
+  for (int i = 0; i < instance.num_requests(); ++i) {
+    const workload::Request& r = instance.request(i);
+    int best_path = -1;
+    double best_delta = 0;
+    for (int j = 0; j < instance.num_paths(i); ++j) {
+      const double delta = incremental_cost(instance, loads, i, j);
+      if (best_path < 0 || delta < best_delta) {
+        best_delta = delta;
+        best_path = j;
+      }
+    }
+    // Greedy profit test: accept only if the bid covers the extra cost.
+    if (best_path >= 0 && r.value > best_delta) {
+      result.schedule.path_choice[i] = best_path;
+      for (net::EdgeId e : instance.paths(i)[best_path].edges) {
+        for (int t = r.start_slot; t <= r.end_slot; ++t) loads.add(e, t, r.rate);
+      }
+    }
+  }
+  result.plan = core::charging_from_loads(core::compute_loads(instance, result.schedule));
+  const core::ProfitBreakdown pb =
+      core::evaluate_with_plan(instance, result.schedule, result.plan);
+  result.revenue = pb.revenue;
+  result.cost = pb.cost;
+  result.profit = pb.profit;
+  result.accepted = pb.accepted;
+  return result;
+}
+
+}  // namespace metis::baselines

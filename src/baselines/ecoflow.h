@@ -1,0 +1,29 @@
+// EcoFlow baseline [17], as adapted by the paper's evaluation (Section V.A):
+// an economical, deadline-driven scheduler that "handles user requests one by
+// one and accepts the user requests that generate higher service profits".
+//
+// Our adaptation: requests are processed one by one; for each, the candidate
+// path with the lowest *incremental* bandwidth cost (the increase in ceiled
+// charged units given everything committed so far) is evaluated, and the
+// request is accepted only when its value exceeds that incremental cost.
+// This greedy profit test is what makes EcoFlow decline many requests.
+#pragma once
+
+#include "core/accounting.h"
+#include "core/instance.h"
+#include "core/schedule.h"
+
+namespace metis::baselines {
+
+struct EcoFlowResult {
+  core::Schedule schedule;
+  core::ChargingPlan plan;
+  double revenue = 0;
+  double cost = 0;
+  double profit = 0;
+  int accepted = 0;
+};
+
+EcoFlowResult run_ecoflow(const core::SpmInstance& instance);
+
+}  // namespace metis::baselines

@@ -1,0 +1,30 @@
+#include "baselines/mincost.h"
+
+namespace metis::baselines {
+
+MinCostResult run_mincost(const core::SpmInstance& instance) {
+  MinCostResult result;
+  result.schedule = core::Schedule::all_declined(instance.num_requests());
+  for (int i = 0; i < instance.num_requests(); ++i) {
+    // Candidate paths come from Yen's algorithm in nondecreasing price
+    // order, so index 0 is the min-price path.
+    int cheapest = 0;
+    double best = net::path_weight(instance.topology(), instance.paths(i)[0],
+                                   net::PathMetric::Price);
+    for (int j = 1; j < instance.num_paths(i); ++j) {
+      const double w = net::path_weight(instance.topology(), instance.paths(i)[j],
+                                        net::PathMetric::Price);
+      if (w < best) {
+        best = w;
+        cheapest = j;
+      }
+    }
+    result.schedule.path_choice[i] = cheapest;
+  }
+  result.plan = core::charging_from_loads(
+      core::compute_loads(instance, result.schedule));
+  result.cost = core::cost(instance.topology(), result.plan);
+  return result;
+}
+
+}  // namespace metis::baselines

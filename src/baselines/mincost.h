@@ -1,0 +1,22 @@
+// MinCost baseline (Section V.A): a fixed scheduling rule that reserves
+// exclusive bandwidth for every request on its min-price path, ignoring the
+// interplay between requests.
+#pragma once
+
+#include "core/accounting.h"
+#include "core/instance.h"
+#include "core/schedule.h"
+
+namespace metis::baselines {
+
+struct MinCostResult {
+  core::Schedule schedule;
+  core::ChargingPlan plan;
+  double cost = 0;
+};
+
+/// Routes every request on its cheapest candidate path (all accepted) and
+/// charges the ceiling of the resulting peak loads.
+MinCostResult run_mincost(const core::SpmInstance& instance);
+
+}  // namespace metis::baselines

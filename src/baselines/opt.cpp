@@ -1,0 +1,52 @@
+#include "baselines/opt.h"
+
+#include "core/lp_builder.h"
+
+namespace metis::baselines {
+
+namespace {
+
+OptResult solve_model(const core::SpmInstance& instance, const core::SpmModel& model,
+                      const lp::MipOptions& options,
+                      const core::Schedule* warm_start) {
+  OptResult result;
+  const lp::MipSolver solver(options);
+  lp::MipResult mip;
+  if (warm_start != nullptr) {
+    const std::vector<double> seed =
+        core::columns_from_decision(instance, model, *warm_start);
+    mip = solver.solve(model.problem, model.integer_columns(), &seed);
+  } else {
+    mip = solver.solve(model.problem, model.integer_columns());
+  }
+  result.status = mip.status;
+  result.best_bound = mip.best_bound;
+  result.nodes = mip.nodes;
+  result.exact = mip.status == lp::SolveStatus::Optimal;
+  if (!mip.has_incumbent) return result;
+  result.schedule = core::schedule_from_solution(instance, model, mip.x);
+  // Derive the purchase from the schedule itself: the ILP's c variables are
+  // optimal, but re-ceiling the actual loads guards against any slack the
+  // solver left (it can only reduce cost).
+  result.plan =
+      core::charging_from_loads(core::compute_loads(instance, result.schedule));
+  result.breakdown =
+      core::evaluate_with_plan(instance, result.schedule, result.plan);
+  return result;
+}
+
+}  // namespace
+
+OptResult run_opt_spm(const core::SpmInstance& instance,
+                      const lp::MipOptions& options,
+                      const core::Schedule* warm_start) {
+  return solve_model(instance, core::build_spm(instance), options, warm_start);
+}
+
+OptResult run_opt_rl_spm(const core::SpmInstance& instance,
+                         const lp::MipOptions& options,
+                         const core::Schedule* warm_start) {
+  return solve_model(instance, core::build_rl_spm(instance), options, warm_start);
+}
+
+}  // namespace metis::baselines

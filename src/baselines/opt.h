@@ -1,0 +1,47 @@
+// Exact baselines solved by branch & bound:
+//
+//   OPT(SPM)    — the optimal profit schedule (Fig. 3's "OPT(SPM)").
+//   OPT(RL-SPM) — the optimal min-cost schedule with *all* requests
+//                 accepted (Fig. 3's "OPT(RL-SPM)", the current service
+//                 mode where providers never decline).
+//
+// Both accept MipOptions so large instances can run with node/time budgets;
+// `exact` reports whether the tree was exhausted (proven optimal).
+#pragma once
+
+#include "core/accounting.h"
+#include "core/instance.h"
+#include "core/schedule.h"
+#include "lp/mip.h"
+
+namespace metis::baselines {
+
+struct OptResult {
+  lp::SolveStatus status = lp::SolveStatus::NotSolved;
+  core::Schedule schedule;
+  core::ChargingPlan plan;
+  core::ProfitBreakdown breakdown;
+  double best_bound = 0;  ///< proven bound on the optimum objective
+  bool exact = false;     ///< true when proven optimal (within gap)
+  long nodes = 0;
+
+  bool ok() const { return status != lp::SolveStatus::NotSolved &&
+                           status != lp::SolveStatus::Infeasible &&
+                           !schedule.path_choice.empty(); }
+};
+
+/// Solves SPM exactly: max revenue - cost, free acceptance.
+/// `warm_start` (optional) seeds branch & bound with a known feasible
+/// decision (e.g. Metis's output), guaranteeing OPT >= that decision even
+/// under node/time budgets.
+OptResult run_opt_spm(const core::SpmInstance& instance,
+                      const lp::MipOptions& options = {},
+                      const core::Schedule* warm_start = nullptr);
+
+/// Solves RL-SPM exactly with every request accepted: min cost.
+/// `warm_start`, if provided, must accept every request.
+OptResult run_opt_rl_spm(const core::SpmInstance& instance,
+                         const lp::MipOptions& options = {},
+                         const core::Schedule* warm_start = nullptr);
+
+}  // namespace metis::baselines

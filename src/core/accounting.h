@@ -1,0 +1,73 @@
+// Accounting: loads, charging, revenue, cost, profit and utilization — the
+// quantities every figure of the paper reports.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.h"
+#include "core/schedule.h"
+#include "util/stats.h"
+
+namespace metis::core {
+
+/// load(e, t): total reserved rate on edge e during slot t.
+class LoadMatrix {
+ public:
+  LoadMatrix(int num_edges, int num_slots);
+
+  double at(net::EdgeId e, int slot) const {
+    return data_[static_cast<std::size_t>(e) * num_slots_ + slot];
+  }
+  void add(net::EdgeId e, int slot, double rate) {
+    data_[static_cast<std::size_t>(e) * num_slots_ + slot] += rate;
+  }
+  /// Peak load of an edge across slots.
+  double peak(net::EdgeId e) const;
+  /// Mean load of an edge across all T slots.
+  double mean(net::EdgeId e) const;
+
+  int num_edges() const { return num_edges_; }
+  int num_slots() const { return num_slots_; }
+
+ private:
+  int num_edges_;
+  int num_slots_;
+  std::vector<double> data_;
+};
+
+/// Accumulates the per-edge/per-slot loads of a schedule.
+LoadMatrix compute_loads(const SpmInstance& instance, const Schedule& schedule);
+
+/// The paper's "ceiling" step: c_e = ceil(max_t load(e, t)).
+ChargingPlan charging_from_loads(const LoadMatrix& loads);
+
+/// Sum of v_i over accepted requests.
+double revenue(const SpmInstance& instance, const Schedule& schedule);
+
+/// Sum of u_e * c_e.
+double cost(const net::Topology& topology, const ChargingPlan& plan);
+
+struct ProfitBreakdown {
+  double revenue = 0;
+  double cost = 0;
+  double profit = 0;
+  int accepted = 0;
+};
+
+/// Full evaluation of a schedule: the charging plan is derived from the
+/// schedule's own loads (the provider purchases exactly what the schedule
+/// needs, rounded up per edge).
+ProfitBreakdown evaluate(const SpmInstance& instance, const Schedule& schedule);
+
+/// As above but charging a caller-provided plan (e.g. OPT's c_e variables).
+ProfitBreakdown evaluate_with_plan(const SpmInstance& instance,
+                                   const Schedule& schedule,
+                                   const ChargingPlan& plan);
+
+/// Link utilization: for each edge with purchased units > 0, the mean over
+/// slots of load/units.  Returns the min/avg/max summary across those edges
+/// (all zeros when nothing is purchased) — the series of Fig. 3c / Fig. 5c.
+Summary utilization_summary(const SpmInstance& instance, const Schedule& schedule,
+                            const ChargingPlan& plan);
+
+}  // namespace metis::core

@@ -1,0 +1,64 @@
+#include "core/chernoff.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace metis::core {
+
+double log_chernoff_b(double m, double delta) {
+  if (m < 0) throw std::invalid_argument("log_chernoff_b: m < 0");
+  if (delta <= -1) throw std::invalid_argument("log_chernoff_b: delta <= -1");
+  // log B = m * (delta - (1+delta) log(1+delta))
+  return m * (delta - (1 + delta) * std::log1p(delta));
+}
+
+double chernoff_b(double m, double delta) {
+  return std::exp(log_chernoff_b(m, delta));
+}
+
+double chernoff_d(double m, double x) {
+  if (m <= 0) throw std::invalid_argument("chernoff_d: m must be positive");
+  if (x <= 0 || x >= 1) throw std::invalid_argument("chernoff_d: x in (0,1)");
+  const double target = std::log(x);
+  // log B(m, delta) decreases from 0 (delta=0) to -inf as delta grows.
+  double lo = 0, hi = 1;
+  while (log_chernoff_b(m, hi) > target) {
+    hi *= 2;
+    if (hi > 1e12) return hi;  // bound is astronomically weak; cap it
+  }
+  for (int iter = 0; iter < 200 && hi - lo > 1e-12 * (1 + hi); ++iter) {
+    const double mid = (lo + hi) / 2;
+    if (log_chernoff_b(m, mid) > target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+double choose_mu(double c, int num_slots, int num_edges) {
+  if (c <= 0) return 0;
+  if (num_slots <= 0 || num_edges <= 0) {
+    throw std::invalid_argument("choose_mu: need positive T and N");
+  }
+  const double target =
+      -std::log(static_cast<double>(num_slots) * (num_edges + 1));
+  // f(mu) = c [ (1-mu) + log mu ] is strictly increasing on (0,1) with
+  // f(1) = 0 > target and f(0+) = -inf, so the feasible set is (0, mu*).
+  const auto f = [c](double mu) { return c * ((1 - mu) + std::log(mu)); };
+  constexpr double kMargin = 1e-9;  // keep the inequality strict
+  double lo = 1e-12, hi = 1.0 - 1e-12;
+  if (f(lo) >= target - kMargin) return 0;  // even tiny mu fails
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = (lo + hi) / 2;
+    if (f(mid) < target - kMargin) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace metis::core

@@ -1,0 +1,32 @@
+// Chernoff-Hoeffding machinery used by TAA (Section IV of the paper).
+//
+//   B(m, delta) = [ e^delta / (1+delta)^(1+delta) ]^m
+//     — the upper-tail bound Pr[I > (1+delta) m] for a sum of independent
+//       [0,1] variables with mean m.
+//   D(m, x)     = the delta solving B(m, D(m,x)) = x.
+//   choose_mu   = the largest scaling factor mu in (0,1) satisfying the
+//       paper's inequality (6):  B(mu*c, (1-mu)/mu) < 1 / (T (N+1)),
+//       which simplifies to  exp((1-mu) c) * mu^c < 1/(T(N+1)).
+//
+// All computations are carried out in log space.
+#pragma once
+
+namespace metis::core {
+
+/// log B(m, delta); requires m >= 0, delta > -1.
+double log_chernoff_b(double m, double delta);
+
+/// B(m, delta) itself (may underflow to 0 for large m — prefer the log form).
+double chernoff_b(double m, double delta);
+
+/// D(m, x): the delta > 0 with B(m, delta) = x, for x in (0,1) and m > 0.
+/// Monotone bisection; returns an upper estimate within 1e-12 absolute.
+double chernoff_d(double m, double x);
+
+/// Largest mu in (0,1) with exp((1-mu)c) * mu^c < 1/(T(N+1)) (strictly),
+/// i.e. the paper's inequality (6) with c the minimum positive capacity in
+/// normalized rate units, T slots and N edges.  Returns 0 when even
+/// arbitrarily small mu cannot satisfy it (c too small).
+double choose_mu(double c, int num_slots, int num_edges);
+
+}  // namespace metis::core

@@ -1,0 +1,203 @@
+#include "core/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace metis::core {
+
+namespace {
+/// exp with saturation: keeps saturated terms comparable instead of inf/nan.
+long double safe_exp(long double x) {
+  constexpr long double kMax = 11000.0L;  // just below long double overflow
+  return std::exp(std::min(x, kMax));
+}
+}  // namespace
+
+PessimisticEstimator::PessimisticEstimator(
+    const SpmInstance& instance, const ChargingPlan& capacities,
+    const std::vector<std::vector<double>>& x_hat,
+    const std::vector<bool>& accepted, const Config& config)
+    : instance_(&instance), config_(config) {
+  const int K = instance.num_requests();
+  const int E = instance.num_edges();
+  const int T = instance.num_slots();
+  if (static_cast<int>(x_hat.size()) != K ||
+      static_cast<int>(accepted.size()) != K ||
+      static_cast<int>(capacities.units.size()) != E) {
+    throw std::invalid_argument("PessimisticEstimator: shape mismatch");
+  }
+  if (config_.mu <= 0 || config_.mu > 1) {
+    throw std::invalid_argument("PessimisticEstimator: mu out of (0,1]");
+  }
+
+  // Scale probabilities by mu.
+  x_hat_.resize(K);
+  for (int i = 0; i < K; ++i) {
+    x_hat_[i].assign(instance.num_paths(i), 0.0);
+    if (!accepted[i]) continue;
+    if (static_cast<int>(x_hat[i].size()) != instance.num_paths(i)) {
+      throw std::invalid_argument("PessimisticEstimator: x_hat row mismatch");
+    }
+    for (int j = 0; j < instance.num_paths(i); ++j) {
+      x_hat_[i][j] = std::clamp(x_hat[i][j], 0.0, 1.0) * config_.mu;
+    }
+  }
+
+  // Terms: 0 = revenue; one per (e,t) pair that some participating request
+  // can load.
+  term_of_.assign(E, std::vector<int>(T, -1));
+  term_edge_.push_back(-1);
+  term_slot_.push_back(-1);
+  for (int i = 0; i < K; ++i) {
+    if (!accepted[i]) continue;
+    const workload::Request& r = instance.request(i);
+    for (int j = 0; j < instance.num_paths(i); ++j) {
+      for (net::EdgeId e : instance.paths(i)[j].edges) {
+        for (int t = r.start_slot; t <= r.end_slot; ++t) {
+          if (term_of_[e][t] == -1) {
+            term_of_[e][t] = static_cast<int>(term_edge_.size());
+            term_edge_.push_back(e);
+            term_slot_.push_back(t);
+          }
+        }
+      }
+    }
+  }
+  const int M = static_cast<int>(term_edge_.size());
+  log_sum_.assign(M, 0.0L);
+  log_factor_.assign(M, std::vector<double>(K, 0.0));
+  presence_.assign(K, {});
+  fixed_.assign(K, false);
+
+  // Constants: revenue term e^{t0 I_B}; capacity terms e^{-tk c'_e}.
+  log_sum_[0] = config_.t0 * config_.i_b;
+  for (int k = 1; k < M; ++k) {
+    const double c_norm = capacities.units[term_edge_[k]] / config_.r_max;
+    log_sum_[k] = -config_.tk * c_norm;
+  }
+
+  // Unfixed factors.
+  for (int i = 0; i < K; ++i) {
+    if (!accepted[i]) continue;
+    const workload::Request& r = instance.request(i);
+    double p_total = 0;
+    for (double p : x_hat_[i]) p_total += p;
+
+    // Revenue term factor: sum_j mu x e^{-t0 v'} + 1 - sum_j mu x.
+    const double v_norm = r.value / config_.v_max;
+    const double f0 = p_total * std::exp(-config_.t0 * v_norm) + 1.0 - p_total;
+    log_factor_[0][i] = std::log(std::max(f0, 1e-300));
+    presence_[i].push_back(0);
+    log_sum_[0] += log_factor_[0][i];
+
+    // Capacity term factors: 1 + sum over paths through (e,t) of
+    // mu x (e^{tk r'} - 1).
+    const double r_norm = r.rate / config_.r_max;
+    const double bump = std::exp(config_.tk * r_norm) - 1.0;
+    // Collect per-term probability mass of request i.
+    std::vector<std::pair<int, double>> mass;  // (term, sum of probs)
+    for (int j = 0; j < instance.num_paths(i); ++j) {
+      if (x_hat_[i][j] <= 0) continue;
+      for (net::EdgeId e : instance.paths(i)[j].edges) {
+        for (int t = r.start_slot; t <= r.end_slot; ++t) {
+          const int k = term_of_[e][t];
+          auto it = std::find_if(mass.begin(), mass.end(),
+                                 [k](const auto& kv) { return kv.first == k; });
+          if (it == mass.end()) {
+            mass.emplace_back(k, x_hat_[i][j]);
+          } else {
+            it->second += x_hat_[i][j];
+          }
+        }
+      }
+    }
+    for (const auto& [k, p] : mass) {
+      const double fk = 1.0 + p * bump;
+      log_factor_[k][i] = std::log(fk);
+      presence_[i].push_back(k);
+      log_sum_[k] += log_factor_[k][i];
+    }
+  }
+
+  total_ = 0;
+  for (int k = 0; k < M; ++k) total_ += safe_exp(log_sum_[k]);
+}
+
+double PessimisticEstimator::fixed_log_factor(int i, int choice, int term) const {
+  const workload::Request& r = instance_->request(i);
+  if (choice == kDeclined) return 0.0;
+  if (term == 0) return -config_.t0 * (r.value / config_.v_max);
+  const net::EdgeId e = term_edge_[term];
+  const int t = term_slot_[term];
+  if (!r.active_at(t) || !instance_->path_uses_edge(i, choice, e)) return 0.0;
+  return config_.tk * (r.rate / config_.r_max);
+}
+
+double PessimisticEstimator::value() const {
+  return static_cast<double>(total_);
+}
+
+double PessimisticEstimator::candidate_value(int i, int choice) const {
+  if (fixed_.at(i)) {
+    throw std::invalid_argument("candidate_value: request already fixed");
+  }
+  long double u = total_;
+  // Terms where either the unfixed factor or the candidate factor differ
+  // from 1: presence_ covers the former; the candidate's own terms (its path
+  // edges x active slots) are a subset of presence_ because the candidate
+  // path has x_hat mass only if... (not necessarily: a path with x_hat == 0
+  // is absent from presence terms).  Handle both sets.
+  std::vector<char> seen(log_sum_.size(), 0);
+  for (int k : presence_.at(i)) {
+    seen[k] = 1;
+    u -= safe_exp(log_sum_[k]);
+    u += safe_exp(log_sum_[k] - log_factor_[k][i] +
+                  fixed_log_factor(i, choice, k));
+  }
+  if (choice != kDeclined) {
+    const workload::Request& r = instance_->request(i);
+    if (!seen[0]) {
+      u -= safe_exp(log_sum_[0]);
+      u += safe_exp(log_sum_[0] + fixed_log_factor(i, choice, 0));
+    }
+    for (net::EdgeId e : instance_->paths(i)[choice].edges) {
+      for (int t = r.start_slot; t <= r.end_slot; ++t) {
+        const int k = term_of_[e][t];
+        if (k < 0 || seen[k]) continue;
+        seen[k] = 1;
+        u -= safe_exp(log_sum_[k]);
+        u += safe_exp(log_sum_[k] + fixed_log_factor(i, choice, k));
+      }
+    }
+  }
+  return static_cast<double>(u);
+}
+
+void PessimisticEstimator::fix(int i, int choice) {
+  if (fixed_.at(i)) throw std::invalid_argument("fix: request already fixed");
+  std::vector<char> seen(log_sum_.size(), 0);
+  auto update_term = [&](int k) {
+    if (seen[k]) return;
+    seen[k] = 1;
+    total_ -= safe_exp(log_sum_[k]);
+    const double lf_new = fixed_log_factor(i, choice, k);
+    log_sum_[k] += lf_new - log_factor_[k][i];
+    log_factor_[k][i] = lf_new;
+    total_ += safe_exp(log_sum_[k]);
+  };
+  for (int k : presence_.at(i)) update_term(k);
+  if (choice != kDeclined) {
+    update_term(0);
+    const workload::Request& r = instance_->request(i);
+    for (net::EdgeId e : instance_->paths(i)[choice].edges) {
+      for (int t = r.start_slot; t <= r.end_slot; ++t) {
+        const int k = term_of_[e][t];
+        if (k >= 0) update_term(k);
+      }
+    }
+  }
+  fixed_[i] = true;
+}
+
+}  // namespace metis::core

@@ -1,0 +1,79 @@
+// The pessimistic estimator u_root used by TAA's derandomized tree walk
+// (method of conditional probabilities, Section IV of the paper).
+//
+// u_root is a sum of one *revenue term* (bounding Pr[revenue < I_B]) and one
+// *capacity term* per (edge, slot) pair that any candidate path can load
+// (bounding Pr[load(e,t) > c_e]).  Each term is a product over requests of a
+// per-request factor:
+//
+//   unfixed request i:  E over the mu-scaled random path choice
+//   fixed on path j:    the factor with x_{i,j} := 1
+//   fixed declined:     factor 1
+//
+// Everything is maintained in log space: each term keeps a running log of
+// its product, so re-evaluating the estimator for one candidate choice of
+// one request costs O(#terms touching that request).
+//
+// Note on the revenue exponent: the paper's displayed formula multiplies the
+// revenue term by e^{t0 * I_S}; a lower-tail bound below 1 requires the
+// *target* revenue I_B in the exponent (with I_S the product is >= 1 by
+// Jensen), so we use e^{t0 * I_B} — see DESIGN.md.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.h"
+#include "core/schedule.h"
+
+namespace metis::core {
+
+class PessimisticEstimator {
+ public:
+  struct Config {
+    double mu = 0.5;      ///< scaling factor from inequality (6)
+    double t0 = 0;        ///< ln(1 + D(I_S, 1/(N+1)))
+    double tk = 0;        ///< ln(1 + (1-mu)/mu) = ln(1/mu)
+    double i_b = 0;       ///< normalized revenue target I_B
+    double r_max = 1;     ///< rate normalizer (r' = r / r_max)
+    double v_max = 1;     ///< value normalizer (v' = v / v_max)
+  };
+
+  /// `x_hat[i][j]` is the *unscaled* fractional LP solution; participation
+  /// is encoded by `accepted` (non-participants contribute factor 1
+  /// everywhere).  Capacities are in raw units.
+  PessimisticEstimator(const SpmInstance& instance, const ChargingPlan& capacities,
+                       const std::vector<std::vector<double>>& x_hat,
+                       const std::vector<bool>& accepted, const Config& config);
+
+  /// Current u_root given the requests fixed so far.
+  double value() const;
+
+  /// u_root if request i were fixed to `choice` (a path index, or kDeclined).
+  /// Request i must be unfixed and participating.
+  double candidate_value(int i, int choice) const;
+
+  /// Commits request i to `choice` and updates all terms.
+  void fix(int i, int choice);
+
+  int num_terms() const { return static_cast<int>(log_sum_.size()); }
+
+ private:
+  /// New log-factor of request i in term k under `choice`.
+  double fixed_log_factor(int i, int choice, int term) const;
+
+  const SpmInstance* instance_;
+  Config config_;
+  /// term 0 = revenue; terms 1.. map to (edge, slot) via term_edge_/term_slot_.
+  std::vector<int> term_edge_;
+  std::vector<int> term_slot_;
+  /// term index of each (e,t), or -1 when the pair has no term.
+  std::vector<std::vector<int>> term_of_;
+  std::vector<long double> log_sum_;             // per term: const + sum of log factors
+  std::vector<std::vector<double>> log_factor_;  // [term][request], 0 if untouched
+  std::vector<std::vector<int>> presence_;       // terms where request i has a factor
+  std::vector<std::vector<double>> x_hat_;       // mu-scaled probabilities
+  std::vector<bool> fixed_;
+  long double total_ = 0;  // sum over terms of exp(log_sum_)
+};
+
+}  // namespace metis::core

@@ -1,0 +1,55 @@
+#include "core/instance.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace metis::core {
+
+SpmInstance::SpmInstance(net::Topology topology,
+                         std::vector<workload::Request> requests,
+                         InstanceConfig config)
+    : topology_(std::move(topology)),
+      requests_(std::move(requests)),
+      config_(config) {
+  if (config_.num_slots <= 0) {
+    throw std::invalid_argument("SpmInstance: num_slots must be positive");
+  }
+  if (config_.max_paths <= 0) {
+    throw std::invalid_argument("SpmInstance: max_paths must be positive");
+  }
+  for (const workload::Request& r : requests_) {
+    workload::validate_request(r, topology_.num_nodes(), config_.num_slots);
+  }
+  // One Yen run per distinct endpoint pair.
+  std::map<std::pair<net::NodeId, net::NodeId>, std::vector<net::Path>> by_pair;
+  for (const workload::Request& r : requests_) {
+    by_pair.emplace(std::make_pair(r.src, r.dst), std::vector<net::Path>{});
+  }
+  for (auto& [pair, paths] : by_pair) {
+    paths = net::k_shortest_paths(topology_, pair.first, pair.second,
+                                  config_.max_paths);
+    if (paths.empty()) {
+      throw std::invalid_argument(
+          "SpmInstance: request endpoints are disconnected (" +
+          std::to_string(pair.first) + " -> " + std::to_string(pair.second) + ")");
+    }
+  }
+  paths_.reserve(requests_.size());
+  uses_edge_.reserve(requests_.size());
+  for (const workload::Request& r : requests_) {
+    paths_.push_back(by_pair.at({r.src, r.dst}));
+    std::vector<std::vector<bool>> bitmap;
+    for (const net::Path& p : paths_.back()) {
+      std::vector<bool> uses(topology_.num_edges(), false);
+      for (net::EdgeId e : p.edges) uses[e] = true;
+      bitmap.push_back(std::move(uses));
+    }
+    uses_edge_.push_back(std::move(bitmap));
+  }
+}
+
+bool SpmInstance::path_uses_edge(int i, int j, net::EdgeId e) const {
+  return uses_edge_.at(i).at(j).at(e);
+}
+
+}  // namespace metis::core

@@ -1,0 +1,58 @@
+// SpmInstance: one fully-specified SPM problem — the WAN, the billing cycle,
+// the request set and each request's candidate path set P_i.
+//
+// Candidate paths are the L_i cheapest loop-free paths between the request's
+// endpoints (Yen's algorithm, price metric), computed once per distinct DC
+// pair and shared.
+#pragma once
+
+#include <vector>
+
+#include "net/paths.h"
+#include "net/topology.h"
+#include "workload/request.h"
+
+namespace metis::core {
+
+struct InstanceConfig {
+  int num_slots = 12;
+  /// Maximum number of candidate paths per request (L_i <= this).
+  int max_paths = 4;
+};
+
+class SpmInstance {
+ public:
+  /// Validates every request against the topology/cycle and precomputes the
+  /// candidate path sets.  Requests between disconnected pairs are rejected
+  /// with std::invalid_argument (the generator never produces them).
+  SpmInstance(net::Topology topology, std::vector<workload::Request> requests,
+              InstanceConfig config = {});
+
+  const net::Topology& topology() const { return topology_; }
+  net::Topology& mutable_topology() { return topology_; }
+  const std::vector<workload::Request>& requests() const { return requests_; }
+  const workload::Request& request(int i) const { return requests_.at(i); }
+
+  int num_requests() const { return static_cast<int>(requests_.size()); }
+  int num_slots() const { return config_.num_slots; }
+  int num_edges() const { return topology_.num_edges(); }
+
+  /// Candidate paths of request i (size L_i >= 1).
+  const std::vector<net::Path>& paths(int i) const { return paths_.at(i); }
+  int num_paths(int i) const { return static_cast<int>(paths_.at(i).size()); }
+
+  /// I_{i,j,e}: whether edge e lies on path P_{i,j}.
+  bool path_uses_edge(int i, int j, net::EdgeId e) const;
+
+  const InstanceConfig& config() const { return config_; }
+
+ private:
+  net::Topology topology_;
+  std::vector<workload::Request> requests_;
+  InstanceConfig config_;
+  std::vector<std::vector<net::Path>> paths_;
+  // Per (request, path): bitmap over edges for O(1) I_{i,j,e} lookups.
+  std::vector<std::vector<std::vector<bool>>> uses_edge_;
+};
+
+}  // namespace metis::core

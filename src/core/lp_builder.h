@@ -1,0 +1,89 @@
+// Builders that translate SPM and its two variants into LinearProblem form.
+//
+// Variable layout is returned alongside the problem so solvers/rounders can
+// map LP columns back to (request, path) pairs and edges:
+//
+//   RL-SPM  (min cost, accepted set fixed):
+//       min  sum_e u_e c_e
+//       s.t. sum_j x_{i,j}  = 1                       for accepted i
+//            sum_{i,j} r_{i,t} x_{i,j} I_{i,j,e} - c_e <= 0   for all (e,t)
+//            x in [0,1] (or {0,1}),  c_e >= 0 (or integer)
+//
+//   BL-SPM  (max revenue, capacities fixed):
+//       max  sum_i v_i sum_j x_{i,j}
+//       s.t. sum_j x_{i,j} <= 1                       for all i
+//            sum_{i,j} r_{i,t} x_{i,j} I_{i,j,e} <= cap_e   for all (e,t)
+//
+//   SPM     (max profit, everything free):
+//       max  sum_i v_i sum_j x_{i,j} - sum_e u_e c_e
+//       s.t. sum_j x_{i,j} <= 1;  load(e,t) - c_e <= 0
+#pragma once
+
+#include <vector>
+
+#include "core/instance.h"
+#include "core/schedule.h"
+#include "lp/problem.h"
+
+namespace metis::core {
+
+/// Column map of a built model.  x_var[i][j] == -1 when request i is not
+/// part of the model (declined up-front); c_var is empty for BL-SPM.
+struct SpmModel {
+  lp::LinearProblem problem;
+  std::vector<std::vector<int>> x_var;  ///< [request][path] -> column
+  std::vector<int> c_var;               ///< [edge] -> column (may be empty)
+  /// [edge][slot] -> row index of the capacity constraint, or -1 when the
+  /// pair has no row (nothing can load it).  Lets callers read the LP duals
+  /// as per-(edge, slot) shadow prices of bandwidth.
+  std::vector<std::vector<int>> cap_row;
+
+  /// All x columns (for MIP integrality lists).
+  std::vector<int> x_columns() const;
+  /// All columns that must be integral in the exact formulations (x and c).
+  std::vector<int> integer_columns() const;
+};
+
+/// RL-SPM for the subset of requests with accepted[i] == true.
+/// An empty `accepted` vector means "all requests accepted".
+SpmModel build_rl_spm(const SpmInstance& instance,
+                      const std::vector<bool>& accepted = {});
+
+/// Extension knobs for BL-SPM (beyond the paper, see DESIGN.md):
+struct BlSpmOptions {
+  /// 0 (the paper): maximize pure revenue.  > 0: subtract
+  /// `cost_weight * r_i * (duration_i / T) * path_price_j` from the
+  /// objective coefficient of x_{i,j} — an internalized estimate of the
+  /// bandwidth a request consumes on its path, making the solver prefer
+  /// cheap routes and decline bids that cannot cover their footprint.
+  double cost_weight = 0;
+};
+
+/// BL-SPM under per-edge capacities (units.size() == num_edges).  Only
+/// requests with accepted[i] == true participate (empty = all).
+SpmModel build_bl_spm(const SpmInstance& instance, const ChargingPlan& capacities,
+                      const std::vector<bool>& accepted = {},
+                      const BlSpmOptions& options = {});
+
+/// The full SPM problem (used with MipSolver for OPT(SPM)).
+SpmModel build_spm(const SpmInstance& instance);
+
+/// Extracts a Schedule from solved x values: for each request the path with
+/// x >= 0.5 (exact formulations produce 0/1 values).  Fractional solutions
+/// below the threshold everywhere yield kDeclined.
+Schedule schedule_from_solution(const SpmInstance& instance, const SpmModel& model,
+                                const std::vector<double>& x);
+
+/// Extracts a ChargingPlan from solved c values (rounded to nearest int).
+ChargingPlan plan_from_solution(const SpmInstance& instance, const SpmModel& model,
+                                const std::vector<double>& x);
+
+/// The inverse of schedule_from_solution: encodes a concrete decision as a
+/// full column assignment of `model` (x from the schedule; c, when the model
+/// has c columns, as the ceiled peak loads).  Used to warm-start MipSolver
+/// with a heuristic solution.
+std::vector<double> columns_from_decision(const SpmInstance& instance,
+                                          const SpmModel& model,
+                                          const Schedule& schedule);
+
+}  // namespace metis::core

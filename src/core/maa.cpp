@@ -1,0 +1,101 @@
+#include "core/maa.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/lp_builder.h"
+
+namespace metis::core {
+
+namespace {
+
+/// Stage 2: one randomized rounding of the fractional solution.
+Schedule round_once(const SpmInstance& instance, const SpmModel& model,
+                    const std::vector<double>& x_hat,
+                    const std::vector<bool>& accepted, Rng& rng) {
+  Schedule schedule = Schedule::all_declined(instance.num_requests());
+  std::vector<double> weights;
+  for (int i = 0; i < instance.num_requests(); ++i) {
+    if (!accepted[i]) continue;
+    weights.clear();
+    for (int j = 0; j < instance.num_paths(i); ++j) {
+      weights.push_back(x_hat.at(model.x_var[i][j]));
+    }
+    schedule.path_choice[i] =
+        static_cast<int>(rng.weighted_index(weights));
+  }
+  return schedule;
+}
+
+/// Ablation variant: argmax-probability path per request (no sampling).
+Schedule round_argmax(const SpmInstance& instance, const SpmModel& model,
+                      const std::vector<double>& x_hat,
+                      const std::vector<bool>& accepted) {
+  Schedule schedule = Schedule::all_declined(instance.num_requests());
+  for (int i = 0; i < instance.num_requests(); ++i) {
+    if (!accepted[i]) continue;
+    int best = 0;
+    for (int j = 1; j < instance.num_paths(i); ++j) {
+      if (x_hat.at(model.x_var[i][j]) > x_hat.at(model.x_var[i][best])) {
+        best = j;
+      }
+    }
+    schedule.path_choice[i] = best;
+  }
+  return schedule;
+}
+
+}  // namespace
+
+MaaResult run_maa(const SpmInstance& instance, const std::vector<bool>& accepted_in,
+                  Rng& rng, const MaaOptions& options) {
+  if (options.rounding_trials < 1) {
+    throw std::invalid_argument("MaaOptions: rounding_trials must be >= 1");
+  }
+  std::vector<bool> accepted = accepted_in;
+  if (accepted.empty()) accepted.assign(instance.num_requests(), true);
+
+  MaaResult result;
+  const SpmModel model = build_rl_spm(instance, accepted);
+  const lp::SimplexSolver solver(options.lp);
+  const lp::LpSolution relaxed = solver.solve(model.problem);
+  result.status = relaxed.status;
+  if (!relaxed.ok()) return result;
+  result.lp_cost = relaxed.objective;
+
+  // Fractional ĉ_e and alpha = min positive ĉ_e.
+  result.fractional_c.assign(instance.num_edges(), 0.0);
+  for (net::EdgeId e = 0; e < instance.num_edges(); ++e) {
+    result.fractional_c[e] = relaxed.x.at(model.c_var[e]);
+  }
+  double alpha = 0;
+  for (double c : result.fractional_c) {
+    if (c > 1e-9 && (alpha == 0 || c < alpha)) alpha = c;
+  }
+  result.alpha = alpha;
+
+  // Stages 2+3, keeping the cheapest of `rounding_trials` roundings.
+  double best_cost = lp::kInfinity;
+  const int trials = options.deterministic ? 1 : options.rounding_trials;
+  for (int trial = 0; trial < trials; ++trial) {
+    Schedule candidate =
+        options.deterministic
+            ? round_argmax(instance, model, relaxed.x, accepted)
+            : round_once(instance, model, relaxed.x, accepted, rng);
+    const ChargingPlan plan = charging_from_loads(compute_loads(instance, candidate));
+    const double candidate_cost = cost(instance.topology(), plan);
+    if (candidate_cost < best_cost) {
+      best_cost = candidate_cost;
+      result.schedule = std::move(candidate);
+      result.plan = plan;
+      result.cost = candidate_cost;
+    }
+  }
+  return result;
+}
+
+MaaResult run_maa(const SpmInstance& instance, Rng& rng, const MaaOptions& options) {
+  return run_maa(instance, {}, rng, options);
+}
+
+}  // namespace metis::core

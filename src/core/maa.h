@@ -1,0 +1,56 @@
+// MAA — Multistage Approximation Algorithm for RL-SPM (Algorithm 1).
+//
+// Stages:
+//   1. Relaxation: solve the LP relaxation of RL-SPM (x in [0,1], c real).
+//   2. Randomized rounding: pick exactly one path per request with
+//      probability x̂_{i,j} (the assignment rows force sum_j x̂ = 1).
+//   3. Ceiling: charge c_e = ceil(max_t load(e,t)) per edge.
+//
+// `rounding_trials > 1` repeats stage 2 and keeps the cheapest rounding
+// (an ablation knob; the paper's algorithm is trials = 1).
+#pragma once
+
+#include <vector>
+
+#include "core/accounting.h"
+#include "core/instance.h"
+#include "core/schedule.h"
+#include "lp/simplex.h"
+#include "util/rng.h"
+
+namespace metis::core {
+
+struct MaaOptions {
+  int rounding_trials = 1;
+  /// Deterministic variant (ablation): instead of sampling, each request
+  /// takes its argmax-probability path.  `rounding_trials` is ignored.
+  bool deterministic = false;
+  lp::SimplexOptions lp;
+};
+
+struct MaaResult {
+  lp::SolveStatus status = lp::SolveStatus::NotSolved;
+  Schedule schedule;
+  ChargingPlan plan;
+  /// Objective of the LP relaxation (a lower bound on the optimal cost).
+  double lp_cost = 0;
+  /// Fractional charged bandwidth per edge from the relaxation (ĉ_e).
+  std::vector<double> fractional_c;
+  /// Cost of the returned (rounded + ceiled) plan.
+  double cost = 0;
+  /// alpha = min positive fractional ĉ_e (drives the (alpha+1)/alpha bound).
+  double alpha = 0;
+
+  bool ok() const { return status == lp::SolveStatus::Optimal; }
+};
+
+/// Runs MAA over the requests with accepted[i] == true (empty = all).
+/// Declined requests keep kDeclined in the returned schedule.
+MaaResult run_maa(const SpmInstance& instance, const std::vector<bool>& accepted,
+                  Rng& rng, const MaaOptions& options = {});
+
+/// Convenience overload: all requests accepted.
+MaaResult run_maa(const SpmInstance& instance, Rng& rng,
+                  const MaaOptions& options = {});
+
+}  // namespace metis::core

@@ -1,0 +1,256 @@
+#include "core/metis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace metis::core {
+
+int trim_min_utilization_link(const SpmInstance& instance, const Schedule& schedule,
+                              ChargingPlan& plan, int units) {
+  if (units <= 0) throw std::invalid_argument("trim: units must be positive");
+  const LoadMatrix loads = compute_loads(instance, schedule);
+  int target = -1;
+  double lowest = 0;
+  for (net::EdgeId e = 0; e < instance.num_edges(); ++e) {
+    if (plan.units[e] <= 0) continue;
+    const double util = loads.mean(e) / plan.units[e];
+    if (target == -1 || util < lowest) {
+      lowest = util;
+      target = e;
+    }
+  }
+  if (target >= 0) {
+    plan.units[target] = std::max(0, plan.units[target] - units);
+  }
+  return target;
+}
+
+namespace {
+
+/// Charging saved on edge e if `rate` were removed from slots
+/// [start, end] of `loads`.
+double removal_saving(const SpmInstance& instance, const LoadMatrix& loads,
+                      net::EdgeId e, int start, int end, double rate) {
+  double peak_with = 0, peak_without = 0;
+  for (int t = 0; t < instance.num_slots(); ++t) {
+    const double load = loads.at(e, t);
+    peak_with = std::max(peak_with, load);
+    const bool in_window = t >= start && t <= end;
+    peak_without = std::max(peak_without, in_window ? load - rate : load);
+  }
+  const double units_with = std::ceil(peak_with - 1e-9);
+  const double units_without = std::ceil(peak_without - 1e-9);
+  return instance.topology().edge(e).price * (units_with - units_without);
+}
+
+}  // namespace
+
+int prune_unprofitable(const SpmInstance& instance, Schedule& schedule) {
+  validate_shape(instance, schedule);
+  LoadMatrix loads = compute_loads(instance, schedule);
+  int pruned = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Find the accepted request with the most negative (value - saving).
+    int worst = -1;
+    double worst_margin = -1e-9;
+    for (int i = 0; i < instance.num_requests(); ++i) {
+      const int j = schedule.path_choice[i];
+      if (j == kDeclined) continue;
+      const workload::Request& r = instance.request(i);
+      double saving = 0;
+      for (net::EdgeId e : instance.paths(i)[j].edges) {
+        saving += removal_saving(instance, loads, e, r.start_slot, r.end_slot,
+                                 r.rate);
+      }
+      const double margin = r.value - saving;
+      if (margin < worst_margin) {
+        worst_margin = margin;
+        worst = i;
+      }
+    }
+    if (worst >= 0) {
+      const workload::Request& r = instance.request(worst);
+      for (net::EdgeId e : instance.paths(worst)[schedule.path_choice[worst]].edges) {
+        for (int t = r.start_slot; t <= r.end_slot; ++t) {
+          loads.add(e, t, -r.rate);
+        }
+      }
+      schedule.path_choice[worst] = kDeclined;
+      ++pruned;
+      changed = true;
+    }
+  }
+  return pruned;
+}
+
+int reroute_cheaper(const SpmInstance& instance, Schedule& schedule) {
+  validate_shape(instance, schedule);
+  LoadMatrix loads = compute_loads(instance, schedule);
+  const auto apply = [&](int i, int j, double sign) {
+    const workload::Request& r = instance.request(i);
+    for (net::EdgeId e : instance.paths(i)[j].edges) {
+      for (int t = r.start_slot; t <= r.end_slot; ++t) {
+        loads.add(e, t, sign * r.rate);
+      }
+    }
+  };
+  // Charged cost of the edges a move can touch, from current loads.
+  const auto cost_of_edges = [&](const std::vector<net::EdgeId>& edges) {
+    double total = 0;
+    for (net::EdgeId e : edges) {
+      total += instance.topology().edge(e).price * std::ceil(loads.peak(e) - 1e-9);
+    }
+    return total;
+  };
+  int moves = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int i = 0; i < instance.num_requests(); ++i) {
+      const int current = schedule.path_choice[i];
+      if (current == kDeclined || instance.num_paths(i) < 2) continue;
+      // Union of edges across all candidate paths of i: only their charges
+      // can change when i moves.
+      std::vector<net::EdgeId> touched;
+      for (int j = 0; j < instance.num_paths(i); ++j) {
+        for (net::EdgeId e : instance.paths(i)[j].edges) {
+          if (std::find(touched.begin(), touched.end(), e) == touched.end()) {
+            touched.push_back(e);
+          }
+        }
+      }
+      int best = current;
+      double best_cost = cost_of_edges(touched);
+      for (int j = 0; j < instance.num_paths(i); ++j) {
+        if (j == current) continue;
+        apply(i, current, -1.0);
+        apply(i, j, +1.0);
+        const double candidate_cost = cost_of_edges(touched);
+        apply(i, j, -1.0);
+        apply(i, current, +1.0);
+        if (candidate_cost < best_cost - 1e-9) {
+          best_cost = candidate_cost;
+          best = j;
+        }
+      }
+      if (best != current) {
+        apply(i, current, -1.0);
+        apply(i, best, +1.0);
+        schedule.path_choice[i] = best;
+        ++moves;
+        changed = true;
+      }
+    }
+  }
+  return moves;
+}
+
+MetisResult run_metis(const SpmInstance& instance, Rng& rng,
+                      const MetisOptions& options) {
+  if (options.theta < 0) throw std::invalid_argument("Metis: theta must be >= 0");
+  // Convergence mode (theta == 0): run the paper's worst-case bound of K
+  // loops (Section II.C), with the usual early exits when the accepted set
+  // empties or no bandwidth is left to trim.
+  const int max_loops =
+      options.theta == 0 ? instance.num_requests() : options.theta;
+  MetisResult result;
+  // SP Updater starts from the empty decision: no requests, no bandwidth,
+  // profit 0 (Section II.C).
+  result.schedule = Schedule::all_declined(instance.num_requests());
+  result.plan = ChargingPlan::none(instance.num_edges());
+  result.best = ProfitBreakdown{};
+
+  // Initialization phase: all requests marked "accepted".
+  std::vector<bool> accepted(instance.num_requests(), true);
+
+  const auto record = [&](const Schedule& schedule, const ChargingPlan& plan) {
+    ProfitBreakdown pb = evaluate_with_plan(instance, schedule, plan);
+    if (pb.profit > result.best.profit) {
+      result.best = pb;
+      result.schedule = schedule;
+      result.plan = plan;
+    }
+    if (options.prune || options.local_search) {
+      // SP-updater guards: also consider the cleaned-up variant of the
+      // candidate (reroute onto cheaper paths, drop value-negative
+      // requests) — never worse than the candidate itself.
+      Schedule improved = schedule;
+      int changes = 0;
+      if (options.local_search) changes += reroute_cheaper(instance, improved);
+      if (options.prune) changes += prune_unprofitable(instance, improved);
+      if (options.local_search) changes += reroute_cheaper(instance, improved);
+      if (changes > 0) {
+        const ChargingPlan improved_plan =
+            charging_from_loads(compute_loads(instance, improved));
+        const ProfitBreakdown improved_pb =
+            evaluate_with_plan(instance, improved, improved_plan);
+        if (improved_pb.profit > result.best.profit) {
+          result.best = improved_pb;
+          result.schedule = std::move(improved);
+          result.plan = improved_plan;
+        }
+        if (improved_pb.profit > pb.profit) pb = improved_pb;
+      }
+    }
+    return pb;
+  };
+
+  for (int loop = 0; loop < max_loops; ++loop) {
+    MetisIteration iter;
+
+    // RL-SPM Solver: minimal-cost routing of the current accepted set.
+    const MaaResult maa = run_maa(instance, accepted, rng, options.maa);
+    if (!maa.ok()) {
+      METIS_LOG_WARN << "Metis: MAA failed with status "
+                     << lp::to_string(maa.status);
+      break;
+    }
+    iter.profit_after_maa = record(maa.schedule, maa.plan).profit;
+
+    // BW Limiter: trim the least-utilized link (rule tau).
+    ChargingPlan limited = maa.plan;
+    iter.trimmed_edge =
+        trim_min_utilization_link(instance, maa.schedule, limited, options.trim_units);
+    if (iter.trimmed_edge < 0) {
+      result.history.push_back(iter);
+      ++result.iterations_run;
+      break;  // nothing purchased: no bandwidth left to rebalance
+    }
+
+    // BL-SPM Solver: best revenue under the limited bandwidth.
+    const TaaResult taa = run_taa(instance, limited, accepted, options.taa);
+    if (!taa.ok()) {
+      METIS_LOG_WARN << "Metis: TAA failed with status "
+                     << lp::to_string(taa.status);
+      result.history.push_back(iter);
+      ++result.iterations_run;
+      break;
+    }
+    // Charge only what the TAA schedule actually needs (<= limited).
+    const ChargingPlan taa_plan =
+        charging_from_loads(compute_loads(instance, taa.schedule));
+    iter.profit_after_taa = record(taa.schedule, taa_plan).profit;
+    iter.accepted_after_taa = taa.schedule.num_accepted();
+    result.history.push_back(iter);
+    ++result.iterations_run;
+
+    // The declined requests leave the working set (convergence argument of
+    // Section II.C).
+    std::vector<bool> next(instance.num_requests(), false);
+    int remaining = 0;
+    for (int i = 0; i < instance.num_requests(); ++i) {
+      next[i] = taa.schedule.accepted(i);
+      remaining += next[i] ? 1 : 0;
+    }
+    if (remaining == 0) break;
+    accepted = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace metis::core

@@ -1,0 +1,100 @@
+// Metis — the alternate-optimization framework of Section II.C.
+//
+// Modules (Fig. 1 of the paper) and how they map here:
+//   Input        -> SpmInstance
+//   RL-SPM Solver-> run_maa (minimize cost of the current accepted set)
+//   BW Limiter   -> trim_min_utilization_link (rule tau: one unit off the
+//                   link with minimum average utilization)
+//   BL-SPM Solver-> run_taa (maximize revenue under the trimmed bandwidth)
+//   SP Updater   -> the best (profit, schedule, plan) seen so far
+//   Output       -> MetisResult
+//
+// The loop runs theta times (or until TAA declines everything / the accepted
+// set stops changing), alternately reducing cost and improving revenue.
+#pragma once
+
+#include <vector>
+
+#include "core/accounting.h"
+#include "core/instance.h"
+#include "core/maa.h"
+#include "core/schedule.h"
+#include "core/taa.h"
+#include "util/rng.h"
+
+namespace metis::core {
+
+struct MetisOptions {
+  /// Number of alternation loops (the paper's theta >= 1).  Each loop trims
+  /// `trim_units` from one link, so theta bounds how far the bandwidth sweep
+  /// can descend; larger theta explores deeper trades of cost vs revenue.
+  ///
+  /// theta == 0 selects *convergence mode*: run the paper's worst-case
+  /// bound of K loops (Section II.C: "Metis loops at most K times"),
+  /// stopping early when every request has been declined or no purchased
+  /// bandwidth remains to trim.
+  int theta = 16;
+  /// Units removed from the min-utilization link per loop (rule tau).
+  int trim_units = 1;
+  /// Engineering guard on the SP updater (see DESIGN.md): before recording a
+  /// candidate decision, greedily decline accepted requests whose bid does
+  /// not cover the bandwidth cost their removal would save.  Each removal
+  /// strictly increases profit, so the recorded decision can only improve.
+  bool prune = true;
+  /// Second SP-updater guard: a first-improvement local search that moves
+  /// accepted requests onto alternative candidate paths whenever that
+  /// lowers the ceiled charging cost.  Recovers most of the integer-packing
+  /// gap that randomized rounding leaves at small K.
+  bool local_search = true;
+  /// Inner-solver options.  The MAA default keeps the cheapest of 8
+  /// roundings per pass: inside the alternation loop the LP solve dominates
+  /// the cost anyway, and single-rounding variance otherwise leaks straight
+  /// into the recorded profit at small K.
+  MaaOptions maa = [] {
+    MaaOptions options;
+    options.rounding_trials = 8;
+    return options;
+  }();
+  TaaOptions taa;
+};
+
+/// One loop's bookkeeping (for convergence plots and the theta ablation).
+struct MetisIteration {
+  double profit_after_maa = 0;
+  double profit_after_taa = 0;
+  int accepted_after_taa = 0;
+  int trimmed_edge = -1;
+};
+
+struct MetisResult {
+  ProfitBreakdown best;   ///< SP Updater's record
+  Schedule schedule;      ///< acceptance + routing decision
+  ChargingPlan plan;      ///< bandwidth purchase decision
+  std::vector<MetisIteration> history;
+  int iterations_run = 0;
+};
+
+/// BW Limiter: among edges with plan.units > 0, reduces the one whose
+/// average utilization (mean_t load / units) is minimal by `units` (floor 0).
+/// Returns the trimmed edge id, or -1 when no edge is purchasable.
+int trim_min_utilization_link(const SpmInstance& instance, const Schedule& schedule,
+                              ChargingPlan& plan, int units = 1);
+
+/// Profit pruning: repeatedly declines the accepted request with the worst
+/// (value - cost saving of removing it) as long as that quantity is
+/// negative, where the saving is the drop in ceiled charging on the
+/// request's path.  Returns the number of requests declined.  Every removal
+/// strictly increases evaluate(instance, schedule).profit.
+int prune_unprofitable(const SpmInstance& instance, Schedule& schedule);
+
+/// Routing local search: sweeps accepted requests, moving each onto the
+/// candidate path that minimizes the total ceiled charging cost given the
+/// rest of the schedule, until a sweep makes no move.  Returns the number of
+/// moves.  Never increases cost (and never changes acceptance).
+int reroute_cheaper(const SpmInstance& instance, Schedule& schedule);
+
+/// Runs the full Metis loop.
+MetisResult run_metis(const SpmInstance& instance, Rng& rng,
+                      const MetisOptions& options = {});
+
+}  // namespace metis::core

@@ -1,0 +1,33 @@
+#include "core/schedule.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace metis::core {
+
+int Schedule::num_accepted() const {
+  int count = 0;
+  for (int choice : path_choice) {
+    if (choice != kDeclined) ++count;
+  }
+  return count;
+}
+
+long long ChargingPlan::total_units() const {
+  return std::accumulate(units.begin(), units.end(), 0LL);
+}
+
+void validate_shape(const SpmInstance& instance, const Schedule& schedule) {
+  if (static_cast<int>(schedule.path_choice.size()) != instance.num_requests()) {
+    throw std::invalid_argument("Schedule: wrong number of requests");
+  }
+  for (int i = 0; i < instance.num_requests(); ++i) {
+    const int choice = schedule.path_choice[i];
+    if (choice == kDeclined) continue;
+    if (choice < 0 || choice >= instance.num_paths(i)) {
+      throw std::invalid_argument("Schedule: path index out of range");
+    }
+  }
+}
+
+}  // namespace metis::core

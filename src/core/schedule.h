@@ -1,0 +1,43 @@
+// Schedule and ChargingPlan: the two outputs of every SPM solver.
+//
+//  * Schedule maps each request to a chosen candidate-path index
+//    (kDeclined = the request was turned down) — the x_{i,j} variables.
+//  * ChargingPlan is the integer number of bandwidth units purchased per
+//    directed edge — the c_e variables.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.h"
+
+namespace metis::core {
+
+/// Sentinel path index meaning "request declined".
+inline constexpr int kDeclined = -1;
+
+struct Schedule {
+  /// One entry per request: candidate path index or kDeclined.
+  std::vector<int> path_choice;
+
+  static Schedule all_declined(int num_requests) {
+    return Schedule{std::vector<int>(num_requests, kDeclined)};
+  }
+  bool accepted(int i) const { return path_choice.at(i) != kDeclined; }
+  int num_accepted() const;
+};
+
+struct ChargingPlan {
+  /// Purchased units per directed edge.
+  std::vector<int> units;
+
+  static ChargingPlan none(int num_edges) {
+    return ChargingPlan{std::vector<int>(num_edges, 0)};
+  }
+  long long total_units() const;
+};
+
+/// Throws std::invalid_argument if the schedule shape doesn't match the
+/// instance (size, path indices in range).
+void validate_shape(const SpmInstance& instance, const Schedule& schedule);
+
+}  // namespace metis::core

@@ -1,0 +1,52 @@
+// Presolve: standard LP/MIP reductions applied before the simplex.
+//
+// Rules (iterated to a fixpoint):
+//   * fixed columns (lower == upper) are substituted into their rows;
+//   * empty rows become pure feasibility checks on their rhs;
+//   * singleton rows (one nonzero) become bound tightenings and are dropped;
+//   * empty columns are fixed at their objective-optimal bound.
+//
+// The result is a smaller problem plus the bookkeeping needed to lift a
+// reduced solution back to the original variable space.  Dual values are
+// NOT reconstructed — presolve targets primal solves (branch & bound nodes,
+// heuristics); solve the original problem when duals are needed.
+#pragma once
+
+#include <vector>
+
+#include "lp/problem.h"
+#include "lp/types.h"
+
+namespace metis::lp {
+
+struct PresolveResult {
+  LinearProblem reduced;
+  /// Early verdicts.  When either flag is set, `reduced` is meaningless.
+  bool infeasible = false;
+  bool unbounded = false;
+
+  /// original column -> reduced column, or -1 when eliminated.
+  std::vector<int> col_map;
+  /// value of each eliminated column (indexed by original column).
+  std::vector<double> fixed_value;
+  /// original row -> reduced row, or -1 when eliminated.
+  std::vector<int> row_map;
+  /// objective constant contributed by eliminated columns.
+  double objective_offset = 0;
+
+  int removed_columns = 0;
+  int removed_rows = 0;
+
+  /// Lifts a reduced-space solution back to the original columns.
+  std::vector<double> restore(const std::vector<double>& reduced_x) const;
+
+  /// Maps original column indices (e.g. an integrality list) into reduced
+  /// space, dropping eliminated ones.
+  std::vector<int> map_columns(const std::vector<int>& original_cols) const;
+};
+
+/// Applies the reductions.  `tol` is the feasibility tolerance for the
+/// verdict checks.
+PresolveResult presolve(const LinearProblem& problem, double tol = 1e-9);
+
+}  // namespace metis::lp

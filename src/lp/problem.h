@@ -1,0 +1,91 @@
+// LinearProblem: a column/row model for linear and mixed-integer programs.
+//
+//   min (or max)  c^T x
+//   subject to    row_k:  a_k^T x  {<=, >=, =}  b_k      for every row k
+//                 l_j <= x_j <= u_j                      for every column j
+//
+// Rows are stored sparsely.  The model is solver-agnostic: SimplexSolver
+// consumes it for LP relaxations and MipSolver adds integrality on a caller-
+// provided subset of columns.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lp/types.h"
+
+namespace metis::lp {
+
+enum class Sense { Minimize, Maximize };
+enum class RowType { LessEqual, GreaterEqual, Equal };
+
+/// One nonzero of a row: coefficient `coef` on column `col`.
+struct RowEntry {
+  int col = 0;
+  double coef = 0;
+};
+
+struct Row {
+  RowType type = RowType::LessEqual;
+  double rhs = 0;
+  std::vector<RowEntry> entries;
+  std::string name;
+};
+
+class LinearProblem {
+ public:
+  explicit LinearProblem(Sense sense = Sense::Minimize) : sense_(sense) {}
+
+  /// Adds a column with bounds [lower, upper] and objective coefficient obj.
+  /// Returns the column index.  lower may be -kInfinity, upper +kInfinity.
+  int add_variable(double lower, double upper, double obj, std::string name = "");
+
+  /// Adds a constraint row.  Entries may reference any existing column; the
+  /// same column may appear multiple times (coefficients are summed by the
+  /// solver).  Returns the row index.
+  int add_row(RowType type, double rhs, std::vector<RowEntry> entries,
+              std::string name = "");
+
+  Sense sense() const { return sense_; }
+  void set_sense(Sense sense) { sense_ = sense; }
+
+  int num_variables() const { return static_cast<int>(obj_.size()); }
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+  double objective_coef(int col) const { return obj_.at(col); }
+  void set_objective_coef(int col, double obj) { obj_.at(col) = obj; }
+  double lower_bound(int col) const { return lower_.at(col); }
+  double upper_bound(int col) const { return upper_.at(col); }
+
+  /// Tightens/replaces the bounds of an existing column (used by B&B).
+  void set_bounds(int col, double lower, double upper);
+
+  const Row& row(int r) const { return rows_.at(r); }
+  const std::vector<Row>& rows() const { return rows_; }
+  const std::vector<double>& objective() const { return obj_; }
+  const std::string& variable_name(int col) const { return names_.at(col); }
+
+  /// c^T x for a full assignment.
+  double objective_value(std::span<const double> x) const;
+
+  /// a_k^T x for row k.
+  double row_activity(int r, std::span<const double> x) const;
+
+  /// True if x satisfies every row and bound within `tol`.
+  bool is_feasible(std::span<const double> x, double tol = 1e-6) const;
+
+  /// Throws std::invalid_argument on structural problems (bad indices,
+  /// lower > upper, NaN coefficients).  Solvers call this before solving.
+  void validate() const;
+
+ private:
+  Sense sense_;
+  std::vector<double> obj_;
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+  std::vector<std::string> names_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace metis::lp

@@ -1,0 +1,580 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "util/log.h"
+
+namespace metis::lp {
+
+namespace {
+
+enum class VarStatus { Basic, AtLower, AtUpper, Free };
+
+/// Sparse column: the nonzeros of one variable across all rows.
+struct Column {
+  std::vector<int> row;
+  std::vector<double> coef;
+};
+
+/// Whole working state of one solve.  All columns (structural, slack,
+/// artificial) share the index space [0, num_cols).
+struct Tableau {
+  int m = 0;                 // rows
+  int n_struct = 0;          // structural columns
+  std::vector<Column> cols;  // per column nonzeros
+  std::vector<double> lb, ub, value;
+  std::vector<VarStatus> status;
+  std::vector<double> b;       // row rhs
+  std::vector<int> basis;      // basis[i] = column basic in row i
+  std::vector<int> basis_row;  // basis_row[j] = row of basic column j, or -1
+  std::vector<double> binv;    // dense m x m row-major basis inverse
+  std::vector<int> artificials;
+
+  double& inv(int i, int k) { return binv[static_cast<std::size_t>(i) * m + k]; }
+  double inv(int i, int k) const {
+    return binv[static_cast<std::size_t>(i) * m + k];
+  }
+
+  int num_cols() const { return static_cast<int>(cols.size()); }
+  bool is_fixed(int j) const { return lb[j] == ub[j]; }
+};
+
+/// Builds sparse columns from the row-wise LinearProblem, merging duplicate
+/// column references within a row.
+void build_structural(const LinearProblem& p, Tableau& t) {
+  t.m = p.num_rows();
+  t.n_struct = p.num_variables();
+  t.cols.resize(t.n_struct);
+  t.lb.resize(t.n_struct);
+  t.ub.resize(t.n_struct);
+  for (int j = 0; j < t.n_struct; ++j) {
+    t.lb[j] = p.lower_bound(j);
+    t.ub[j] = p.upper_bound(j);
+  }
+  // Collect (row, col) -> coef with duplicate merging.
+  std::vector<std::map<int, double>> by_col(t.n_struct);
+  for (int r = 0; r < t.m; ++r) {
+    for (const RowEntry& e : p.row(r).entries) {
+      by_col[e.col][r] += e.coef;
+    }
+  }
+  for (int j = 0; j < t.n_struct; ++j) {
+    for (const auto& [r, c] : by_col[j]) {
+      if (c != 0.0) {
+        t.cols[j].row.push_back(r);
+        t.cols[j].coef.push_back(c);
+      }
+    }
+  }
+  t.b.resize(t.m);
+  for (int r = 0; r < t.m; ++r) t.b[r] = p.row(r).rhs;
+}
+
+/// Appends one slack column per row (coefficient +1).
+void add_slacks(const LinearProblem& p, Tableau& t) {
+  for (int r = 0; r < t.m; ++r) {
+    Column col;
+    col.row.push_back(r);
+    col.coef.push_back(1.0);
+    t.cols.push_back(std::move(col));
+    switch (p.row(r).type) {
+      case RowType::LessEqual:
+        t.lb.push_back(0.0);
+        t.ub.push_back(kInfinity);
+        break;
+      case RowType::GreaterEqual:
+        t.lb.push_back(-kInfinity);
+        t.ub.push_back(0.0);
+        break;
+      case RowType::Equal:
+        t.lb.push_back(0.0);
+        t.ub.push_back(0.0);
+        break;
+    }
+  }
+}
+
+/// Chooses the initial resting point of a nonbasic column.
+VarStatus initial_status(double lb, double ub) {
+  if (std::isfinite(lb)) return VarStatus::AtLower;
+  if (std::isfinite(ub)) return VarStatus::AtUpper;
+  return VarStatus::Free;
+}
+
+double resting_value(VarStatus s, double lb, double ub) {
+  switch (s) {
+    case VarStatus::AtLower: return lb;
+    case VarStatus::AtUpper: return ub;
+    default: return 0.0;
+  }
+}
+
+class Engine {
+ public:
+  Engine(const LinearProblem& p, const SimplexOptions& opt) : opt_(opt) {
+    build_structural(p, t_);
+    add_slacks(p, t_);
+    max_iterations_ = opt_.max_iterations > 0
+                          ? opt_.max_iterations
+                          : 200 * (t_.m + t_.n_struct) + 2000;
+    // Objective in minimization form over all columns.
+    sign_ = p.sense() == Sense::Minimize ? 1.0 : -1.0;
+    cost_.assign(t_.num_cols(), 0.0);
+    for (int j = 0; j < t_.n_struct; ++j) {
+      cost_[j] = sign_ * p.objective_coef(j);
+    }
+  }
+
+  LpSolution run() {
+    LpSolution out;
+    init_basis();
+    if (!t_.artificials.empty()) {
+      std::vector<double> phase1(t_.num_cols(), 0.0);
+      for (int a : t_.artificials) phase1[a] = 1.0;
+      const SolveStatus s1 = iterate(phase1, /*phase1=*/true);
+      if (s1 != SolveStatus::Optimal) {
+        out.status = s1;
+        out.iterations = iterations_;
+        return out;
+      }
+      double infeas = 0;
+      for (int a : t_.artificials) infeas += t_.value[a];
+      if (infeas > 1e-6) {
+        out.status = SolveStatus::Infeasible;
+        out.iterations = iterations_;
+        return out;
+      }
+      // Freeze all artificials at zero for phase 2.
+      for (int a : t_.artificials) {
+        t_.lb[a] = t_.ub[a] = 0.0;
+        t_.value[a] = 0.0;
+        if (t_.basis_row[a] < 0) t_.status[a] = VarStatus::AtLower;
+      }
+    }
+    // Grow the cost vector to cover artificial columns (cost 0).
+    cost_.resize(t_.num_cols(), 0.0);
+    const SolveStatus s2 = iterate(cost_, /*phase1=*/false);
+    out.status = s2;
+    out.iterations = iterations_;
+    if (s2 != SolveStatus::Optimal) return out;
+
+    out.x.assign(t_.n_struct, 0.0);
+    for (int j = 0; j < t_.n_struct; ++j) out.x[j] = t_.value[j];
+    double obj = 0;
+    for (int j = 0; j < t_.n_struct; ++j) obj += cost_[j] * t_.value[j];
+    out.objective = sign_ * obj;
+    // Duals: y = c_B B^{-1}, flipped back for maximization.
+    std::vector<double> y = compute_y(cost_);
+    out.duals.assign(t_.m, 0.0);
+    for (int r = 0; r < t_.m; ++r) out.duals[r] = sign_ * y[r];
+    return out;
+  }
+
+ private:
+  /// Sets up the slack basis plus artificials for rows whose slack starts
+  /// outside its bounds.
+  void init_basis() {
+    const int total = t_.num_cols();
+    t_.value.assign(total, 0.0);
+    t_.status.assign(total, VarStatus::AtLower);
+    t_.basis_row.assign(total, -1);
+    for (int j = 0; j < total; ++j) {
+      t_.status[j] = initial_status(t_.lb[j], t_.ub[j]);
+      t_.value[j] = resting_value(t_.status[j], t_.lb[j], t_.ub[j]);
+    }
+    // Residual r_i = b_i - sum over structural nonbasic values.
+    std::vector<double> resid = t_.b;
+    for (int j = 0; j < t_.n_struct; ++j) {
+      if (t_.value[j] == 0.0) continue;
+      const Column& col = t_.cols[j];
+      for (std::size_t k = 0; k < col.row.size(); ++k) {
+        resid[col.row[k]] -= col.coef[k] * t_.value[j];
+      }
+    }
+    t_.basis.assign(t_.m, -1);
+    for (int r = 0; r < t_.m; ++r) {
+      const int slack = t_.n_struct + r;
+      const double clamped = std::clamp(resid[r], t_.lb[slack], t_.ub[slack]);
+      if (std::abs(resid[r] - clamped) <= opt_.tol) {
+        set_basic(slack, r, resid[r]);
+      } else {
+        // Slack rests at its nearest bound; an artificial carries the rest.
+        t_.status[slack] =
+            clamped == t_.lb[slack] ? VarStatus::AtLower : VarStatus::AtUpper;
+        t_.value[slack] = clamped;
+        const double excess = resid[r] - clamped;
+        Column art;
+        art.row.push_back(r);
+        art.coef.push_back(excess > 0 ? 1.0 : -1.0);
+        t_.cols.push_back(std::move(art));
+        t_.lb.push_back(0.0);
+        t_.ub.push_back(kInfinity);
+        t_.value.push_back(std::abs(excess));
+        t_.status.push_back(VarStatus::Basic);
+        t_.basis_row.push_back(r);
+        const int art_col = t_.num_cols() - 1;
+        t_.basis[r] = art_col;
+        t_.artificials.push_back(art_col);
+      }
+    }
+    // Basis is (a signed permutation of) the identity; its inverse too.
+    t_.binv.assign(static_cast<std::size_t>(t_.m) * t_.m, 0.0);
+    for (int r = 0; r < t_.m; ++r) {
+      const int j = t_.basis[r];
+      // Slack coefficient is +1; artificial coefficient is +/-1.
+      t_.inv(r, r) = 1.0 / t_.cols[j].coef[0];
+    }
+  }
+
+  void set_basic(int col, int row, double value) {
+    t_.status[col] = VarStatus::Basic;
+    t_.value[col] = value;
+    t_.basis[row] = col;
+    t_.basis_row[col] = row;
+  }
+
+  std::vector<double> compute_y(const std::vector<double>& c) const {
+    std::vector<double> y(t_.m, 0.0);
+    for (int i = 0; i < t_.m; ++i) {
+      const double cb = c[t_.basis[i]];
+      if (cb == 0.0) continue;
+      for (int k = 0; k < t_.m; ++k) y[k] += cb * t_.inv(i, k);
+    }
+    return y;
+  }
+
+  double reduced_cost(int j, const std::vector<double>& c,
+                      const std::vector<double>& y) const {
+    double d = c[j];
+    const Column& col = t_.cols[j];
+    for (std::size_t k = 0; k < col.row.size(); ++k) {
+      d -= y[col.row[k]] * col.coef[k];
+    }
+    return d;
+  }
+
+  /// B^{-1} a_j.
+  std::vector<double> ftran(int j) const {
+    std::vector<double> w(t_.m, 0.0);
+    const Column& col = t_.cols[j];
+    for (std::size_t k = 0; k < col.row.size(); ++k) {
+      const int r = col.row[k];
+      const double a = col.coef[k];
+      for (int i = 0; i < t_.m; ++i) w[i] += t_.inv(i, r) * a;
+    }
+    return w;
+  }
+
+  /// Rebuilds B^{-1} from scratch and recomputes basic values.
+  void refactorize() {
+    const int m = t_.m;
+    if (m == 0) return;
+    // Dense B in row-major, augmented Gauss-Jordan to the identity.
+    std::vector<double> B(static_cast<std::size_t>(m) * m, 0.0);
+    for (int i = 0; i < m; ++i) {
+      const Column& col = t_.cols[t_.basis[i]];
+      for (std::size_t k = 0; k < col.row.size(); ++k) {
+        B[static_cast<std::size_t>(col.row[k]) * m + i] = col.coef[k];
+      }
+    }
+    std::vector<double> inv(static_cast<std::size_t>(m) * m, 0.0);
+    for (int i = 0; i < m; ++i) inv[static_cast<std::size_t>(i) * m + i] = 1.0;
+    auto bat = [&](std::vector<double>& mat, int i, int k) -> double& {
+      return mat[static_cast<std::size_t>(i) * m + k];
+    };
+    for (int col = 0; col < m; ++col) {
+      int piv = col;
+      double best = std::abs(bat(B, col, col));
+      for (int i = col + 1; i < m; ++i) {
+        if (std::abs(bat(B, i, col)) > best) {
+          best = std::abs(bat(B, i, col));
+          piv = i;
+        }
+      }
+      if (best < 1e-12) {
+        throw std::runtime_error("simplex: singular basis during refactorize");
+      }
+      if (piv != col) {
+        for (int k = 0; k < m; ++k) {
+          std::swap(bat(B, piv, k), bat(B, col, k));
+          std::swap(bat(inv, piv, k), bat(inv, col, k));
+        }
+      }
+      const double p = bat(B, col, col);
+      for (int k = 0; k < m; ++k) {
+        bat(B, col, k) /= p;
+        bat(inv, col, k) /= p;
+      }
+      for (int i = 0; i < m; ++i) {
+        if (i == col) continue;
+        const double f = bat(B, i, col);
+        if (f == 0.0) continue;
+        for (int k = 0; k < m; ++k) {
+          bat(B, i, k) -= f * bat(B, col, k);
+          bat(inv, i, k) -= f * bat(inv, col, k);
+        }
+      }
+    }
+    t_.binv = std::move(inv);
+    recompute_basic_values();
+  }
+
+  void recompute_basic_values() {
+    // x_B = B^{-1} (b - A_N x_N)
+    std::vector<double> rhs = t_.b;
+    for (int j = 0; j < t_.num_cols(); ++j) {
+      if (t_.status[j] == VarStatus::Basic || t_.value[j] == 0.0) continue;
+      const Column& col = t_.cols[j];
+      for (std::size_t k = 0; k < col.row.size(); ++k) {
+        rhs[col.row[k]] -= col.coef[k] * t_.value[j];
+      }
+    }
+    for (int i = 0; i < t_.m; ++i) {
+      double v = 0;
+      for (int k = 0; k < t_.m; ++k) v += t_.inv(i, k) * rhs[k];
+      t_.value[t_.basis[i]] = v;
+    }
+  }
+
+  /// One simplex phase.  Returns Optimal, Unbounded or IterationLimit.
+  SolveStatus iterate(const std::vector<double>& c, bool phase1) {
+    int degenerate_run = 0;
+    int since_refactor = 0;
+    while (true) {
+      if (iterations_++ >= max_iterations_) return SolveStatus::IterationLimit;
+      const bool bland = degenerate_run >= opt_.bland_threshold;
+      const std::vector<double> y = compute_y(c);
+
+      // --- Pricing ---
+      int enter = -1;
+      double enter_d = 0;
+      double best = opt_.tol;
+      for (int j = 0; j < t_.num_cols(); ++j) {
+        if (t_.status[j] == VarStatus::Basic || t_.is_fixed(j)) continue;
+        const double d = reduced_cost(j, c, y);
+        double violation = 0;
+        if (t_.status[j] == VarStatus::AtLower && d < -opt_.tol) violation = -d;
+        else if (t_.status[j] == VarStatus::AtUpper && d > opt_.tol) violation = d;
+        else if (t_.status[j] == VarStatus::Free && std::abs(d) > opt_.tol)
+          violation = std::abs(d);
+        if (violation <= 0) continue;
+        if (bland) {  // first eligible index
+          enter = j;
+          enter_d = d;
+          break;
+        }
+        if (violation > best) {
+          best = violation;
+          enter = j;
+          enter_d = d;
+        }
+      }
+      if (enter < 0) return SolveStatus::Optimal;
+
+      // Direction: sigma=+1 when the entering variable increases.
+      const double sigma =
+          (t_.status[enter] == VarStatus::AtUpper ||
+           (t_.status[enter] == VarStatus::Free && enter_d > 0))
+              ? -1.0
+              : 1.0;
+      const std::vector<double> w = ftran(enter);
+
+      // --- Ratio test ---
+      double t_max = kInfinity;
+      int leave_pos = -1;
+      bool leave_to_upper = false;
+      for (int i = 0; i < t_.m; ++i) {
+        const double coef = sigma * w[i];
+        const int bj = t_.basis[i];
+        if (coef > opt_.pivot_tol) {
+          if (!std::isfinite(t_.lb[bj])) continue;
+          const double room = std::max(0.0, t_.value[bj] - t_.lb[bj]);
+          const double ratio = room / coef;
+          if (ratio < t_max - opt_.tol ||
+              (ratio < t_max + opt_.tol &&
+               (leave_pos < 0 || bj < t_.basis[leave_pos]))) {
+            t_max = std::min(t_max, ratio);
+            leave_pos = i;
+            leave_to_upper = false;
+          }
+        } else if (coef < -opt_.pivot_tol) {
+          if (!std::isfinite(t_.ub[bj])) continue;
+          const double room = std::max(0.0, t_.ub[bj] - t_.value[bj]);
+          const double ratio = room / (-coef);
+          if (ratio < t_max - opt_.tol ||
+              (ratio < t_max + opt_.tol &&
+               (leave_pos < 0 || bj < t_.basis[leave_pos]))) {
+            t_max = std::min(t_max, ratio);
+            leave_pos = i;
+            leave_to_upper = true;
+          }
+        }
+      }
+      // Bound-flip of the entering variable itself.
+      const double span = t_.ub[enter] - t_.lb[enter];
+      bool flip = false;
+      if (std::isfinite(span) && span < t_max - opt_.tol) {
+        t_max = span;
+        flip = true;
+      }
+      if (!std::isfinite(t_max)) {
+        // Phase 1 minimizes a nonnegative sum, so it cannot be unbounded;
+        // hitting this in phase 1 indicates numerical trouble.
+        return phase1 ? SolveStatus::NotSolved : SolveStatus::Unbounded;
+      }
+      t_max = std::max(0.0, t_max);
+      degenerate_run = t_max <= opt_.tol ? degenerate_run + 1 : 0;
+
+      // --- Apply the step ---
+      for (int i = 0; i < t_.m; ++i) {
+        t_.value[t_.basis[i]] -= sigma * t_max * w[i];
+      }
+      if (flip) {
+        t_.status[enter] = t_.status[enter] == VarStatus::AtLower
+                               ? VarStatus::AtUpper
+                               : VarStatus::AtLower;
+        t_.value[enter] = resting_value(t_.status[enter], t_.lb[enter], t_.ub[enter]);
+        continue;
+      }
+      const double enter_value = t_.value[enter] + sigma * t_max;
+      const int leave = t_.basis[leave_pos];
+      // Leaving variable snaps exactly onto the bound it hit.
+      t_.status[leave] = leave_to_upper ? VarStatus::AtUpper : VarStatus::AtLower;
+      t_.value[leave] = leave_to_upper ? t_.ub[leave] : t_.lb[leave];
+      t_.basis_row[leave] = -1;
+      // Freeze artificials once they leave the basis.
+      if (leave >= t_.n_struct + t_.m) {
+        t_.lb[leave] = t_.ub[leave] = 0.0;
+        t_.value[leave] = 0.0;
+        t_.status[leave] = VarStatus::AtLower;
+      }
+      set_basic(enter, leave_pos, enter_value);
+
+      // --- Update B^{-1} (pivot on w[leave_pos]) ---
+      const double pivot = w[leave_pos];
+      if (std::abs(pivot) < opt_.pivot_tol) {
+        refactorize();
+        since_refactor = 0;
+        continue;
+      }
+      for (int i = 0; i < t_.m; ++i) {
+        if (i == leave_pos) continue;
+        const double f = w[i] / pivot;
+        if (f == 0.0) continue;
+        for (int k = 0; k < t_.m; ++k) t_.inv(i, k) -= f * t_.inv(leave_pos, k);
+      }
+      for (int k = 0; k < t_.m; ++k) t_.inv(leave_pos, k) /= pivot;
+
+      if (++since_refactor >= opt_.refactor_interval) {
+        refactorize();
+        since_refactor = 0;
+      }
+    }
+  }
+
+  SimplexOptions opt_;
+  Tableau t_;
+  std::vector<double> cost_;  // minimization costs over all columns
+  double sign_ = 1.0;
+  int iterations_ = 0;
+  int max_iterations_ = 0;
+};
+
+}  // namespace
+
+namespace {
+
+/// Geometric-mean equilibration: substitute x_j = col[j] * x'_j and multiply
+/// row i by row[i] so that nonzero magnitudes cluster around 1.
+struct Scaled {
+  LinearProblem problem;
+  std::vector<double> row;  // row multipliers
+  std::vector<double> col;  // column multipliers (x = col .* x')
+};
+
+Scaled scale_problem(const LinearProblem& p) {
+  const int n = p.num_variables();
+  const int m = p.num_rows();
+  Scaled s;
+  s.row.assign(m, 1.0);
+  s.col.assign(n, 1.0);
+  const auto geo = [](double lo, double hi) { return std::sqrt(lo * hi); };
+  for (int pass = 0; pass < 3; ++pass) {
+    // Rows.
+    for (int r = 0; r < m; ++r) {
+      double lo = 0, hi = 0;
+      for (const RowEntry& e : p.row(r).entries) {
+        const double a = std::abs(e.coef) * s.col[e.col] * s.row[r];
+        if (a == 0) continue;
+        if (lo == 0 || a < lo) lo = a;
+        if (a > hi) hi = a;
+      }
+      if (hi > 0) s.row[r] /= geo(lo, hi);
+    }
+    // Columns.
+    std::vector<double> col_lo(n, 0), col_hi(n, 0);
+    for (int r = 0; r < m; ++r) {
+      for (const RowEntry& e : p.row(r).entries) {
+        const double a = std::abs(e.coef) * s.col[e.col] * s.row[r];
+        if (a == 0) continue;
+        if (col_lo[e.col] == 0 || a < col_lo[e.col]) col_lo[e.col] = a;
+        if (a > col_hi[e.col]) col_hi[e.col] = a;
+      }
+    }
+    for (int j = 0; j < n; ++j) {
+      if (col_hi[j] > 0) s.col[j] /= geo(col_lo[j], col_hi[j]);
+    }
+  }
+  // Assemble the scaled problem.
+  s.problem.set_sense(p.sense());
+  for (int j = 0; j < n; ++j) {
+    const double c = s.col[j];
+    const double lb = p.lower_bound(j);
+    const double ub = p.upper_bound(j);
+    s.problem.add_variable(std::isfinite(lb) ? lb / c : lb,
+                           std::isfinite(ub) ? ub / c : ub,
+                           p.objective_coef(j) * c, p.variable_name(j));
+  }
+  for (int r = 0; r < m; ++r) {
+    const Row& row = p.row(r);
+    std::vector<RowEntry> entries;
+    entries.reserve(row.entries.size());
+    for (const RowEntry& e : row.entries) {
+      entries.push_back({e.col, e.coef * s.row[r] * s.col[e.col]});
+    }
+    s.problem.add_row(row.type, row.rhs * s.row[r], std::move(entries),
+                      row.name);
+  }
+  return s;
+}
+
+}  // namespace
+
+LpSolution SimplexSolver::solve(const LinearProblem& problem) const {
+  problem.validate();
+  if (!options_.scale) {
+    Engine engine(problem, options_);
+    return engine.run();
+  }
+  const Scaled scaled = scale_problem(problem);
+  Engine engine(scaled.problem, options_);
+  LpSolution sol = engine.run();
+  if (sol.status == SolveStatus::Optimal) {
+    for (int j = 0; j < problem.num_variables(); ++j) {
+      sol.x[j] *= scaled.col[j];
+    }
+    for (int r = 0; r < problem.num_rows(); ++r) {
+      sol.duals[r] *= scaled.row[r];
+    }
+    // c' x' == c x, so the objective needs no adjustment; recompute anyway
+    // to wash out scaling round-off.
+    sol.objective = problem.objective_value(sol.x);
+  }
+  return sol;
+}
+
+}  // namespace metis::lp

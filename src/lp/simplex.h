@@ -1,0 +1,64 @@
+// SimplexSolver: a two-phase primal simplex method for LinearProblem.
+//
+// Design (classic textbook revised simplex, sized for the LPs in this repo:
+// up to a few thousand columns and ~1000 rows):
+//
+//  * Computational standard form.  Every row gets one slack column with
+//    coefficient +1 whose bounds encode the row type (LessEqual: [0, inf),
+//    GreaterEqual: (-inf, 0], Equal: [0, 0]).
+//  * Bounded variables.  Columns live in [l_j, u_j]; nonbasic columns rest at
+//    a finite bound (or at 0 when free).  Bound flips are handled without a
+//    basis change.
+//  * Phase 1 with artificials.  Rows whose initial slack value falls outside
+//    the slack bounds receive one artificial column; phase 1 minimizes the
+//    sum of artificials.  Artificials are frozen ([0,0]) once driven out.
+//  * Explicit dense basis inverse B^{-1}, updated by elementary row
+//    operations per pivot and refactorized (Gauss-Jordan with partial
+//    pivoting) every `refactor_interval` pivots to bound numerical drift.
+//  * Dantzig pricing with an automatic switch to Bland's rule after a run of
+//    degenerate pivots, which guarantees termination.
+//
+// This module is the stand-in for the commercial LP solver (Gurobi) used by
+// the paper; see DESIGN.md section 2.
+#pragma once
+
+#include "lp/problem.h"
+#include "lp/types.h"
+
+namespace metis::lp {
+
+struct SimplexOptions {
+  /// 0 means automatic: 200 * (rows + cols) + 2000.
+  int max_iterations = 0;
+  /// Primal feasibility / reduced-cost tolerance.
+  double tol = 1e-7;
+  /// Pivot magnitude below which a column is rejected as numerically unsafe.
+  double pivot_tol = 1e-9;
+  /// Refactorize the basis inverse every this many pivots.
+  int refactor_interval = 100;
+  /// Consecutive degenerate pivots before switching to Bland's rule.
+  int bland_threshold = 64;
+  /// Geometric-mean equilibration of rows and columns before solving.
+  /// Opt-in: it rescues problems whose coefficients span many orders of
+  /// magnitude (see test_lp_stress), but on naturally well-scaled models —
+  /// including all SPM formulations in this repo — it perturbs degeneracy
+  /// handling and costs several times more iterations.  The solution is
+  /// unscaled transparently when enabled.
+  bool scale = false;
+};
+
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(SimplexOptions options = {}) : options_(options) {}
+
+  /// Solves the problem.  The returned solution is in the problem's own
+  /// sense (objective is the true max/min value, duals match the rows).
+  LpSolution solve(const LinearProblem& problem) const;
+
+  const SimplexOptions& options() const { return options_; }
+
+ private:
+  SimplexOptions options_;
+};
+
+}  // namespace metis::lp

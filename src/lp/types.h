@@ -1,0 +1,50 @@
+// Shared status/result types for the LP and MIP solvers.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace metis::lp {
+
+/// +infinity sentinel used for unbounded variable bounds.
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class SolveStatus {
+  NotSolved,        ///< solve() has not run / internal error
+  Optimal,          ///< proven optimal (LP) or proven optimal within gap (MIP)
+  Infeasible,       ///< no feasible point exists
+  Unbounded,        ///< objective unbounded over the feasible region
+  IterationLimit,   ///< simplex hit its iteration cap
+  NodeLimit,        ///< branch & bound hit its node cap (best incumbent kept)
+  TimeLimit,        ///< branch & bound hit its wall-clock cap
+};
+
+std::string to_string(SolveStatus status);
+
+/// Result of one LP solve.
+struct LpSolution {
+  SolveStatus status = SolveStatus::NotSolved;
+  double objective = 0;        ///< in the problem's own sense (min or max)
+  std::vector<double> x;       ///< primal values, one per structural column
+  std::vector<double> duals;   ///< one multiplier per row (simplex y-vector)
+  int iterations = 0;          ///< total simplex iterations (both phases)
+
+  bool ok() const { return status == SolveStatus::Optimal; }
+};
+
+/// Result of one MIP solve.
+struct MipResult {
+  SolveStatus status = SolveStatus::NotSolved;
+  double objective = 0;      ///< objective of the incumbent (if any)
+  std::vector<double> x;     ///< incumbent solution (empty if none found)
+  double best_bound = 0;     ///< proven bound on the optimum
+  long nodes = 0;            ///< branch & bound nodes processed
+  bool has_incumbent = false;
+
+  /// Relative gap between incumbent and bound (0 when proven optimal).
+  double gap() const;
+  bool ok() const { return has_incumbent; }
+};
+
+}  // namespace metis::lp

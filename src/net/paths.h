@@ -1,0 +1,55 @@
+// Path computation: Dijkstra shortest path, Yen's k-shortest simple paths,
+// and an exhaustive DFS enumeration used as a test oracle.
+//
+// Path weights are edge prices by default (the candidate path sets P_i in
+// the paper are the cheapest alternatives between a DC pair), with hop count
+// available as an alternative metric.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace metis::net {
+
+/// A directed simple path, stored as consecutive edge ids.
+struct Path {
+  std::vector<EdgeId> edges;
+
+  bool empty() const { return edges.empty(); }
+  std::size_t hops() const { return edges.size(); }
+  bool operator==(const Path& other) const = default;
+};
+
+enum class PathMetric { Price, Hops };
+
+/// Sum of the path's edge weights under the metric.
+double path_weight(const Topology& topo, const Path& path, PathMetric metric);
+
+/// Source node of a non-empty path.
+NodeId path_source(const Topology& topo, const Path& path);
+/// Destination node of a non-empty path.
+NodeId path_destination(const Topology& topo, const Path& path);
+
+/// True if `path` is a contiguous, node-simple src->dst walk in `topo`.
+bool is_simple_path(const Topology& topo, const Path& path, NodeId src, NodeId dst);
+
+/// Dijkstra; std::nullopt if dst is unreachable.  `forbidden_nodes` /
+/// `forbidden_edges` (optional, may be empty) support Yen's spur search.
+std::optional<Path> shortest_path(const Topology& topo, NodeId src, NodeId dst,
+                                  PathMetric metric = PathMetric::Price,
+                                  const std::vector<bool>* forbidden_nodes = nullptr,
+                                  const std::vector<bool>* forbidden_edges = nullptr);
+
+/// Yen's algorithm: up to k loop-free paths in nondecreasing weight order.
+/// Returns fewer than k when the graph does not contain that many.
+std::vector<Path> k_shortest_paths(const Topology& topo, NodeId src, NodeId dst,
+                                   int k, PathMetric metric = PathMetric::Price);
+
+/// Exhaustive enumeration of all simple paths with at most `max_hops` hops
+/// (test oracle; exponential, use on small graphs only).
+std::vector<Path> all_simple_paths(const Topology& topo, NodeId src, NodeId dst,
+                                   int max_hops);
+
+}  // namespace metis::net

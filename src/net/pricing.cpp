@@ -1,0 +1,46 @@
+#include "net/pricing.h"
+
+#include <stdexcept>
+
+namespace metis::net {
+
+std::string to_string(Region region) {
+  switch (region) {
+    case Region::NorthAmerica: return "NorthAmerica";
+    case Region::Europe: return "Europe";
+    case Region::Asia: return "Asia";
+    case Region::SouthAmerica: return "SouthAmerica";
+    case Region::Oceania: return "Oceania";
+  }
+  return "Unknown";
+}
+
+double relative_price(Region region) {
+  // Cloudflare "Bandwidth Costs Around the World" relative transit factors
+  // (Europe/North America normalized to 1).
+  switch (region) {
+    case Region::NorthAmerica: return 1.0;
+    case Region::Europe: return 1.0;
+    case Region::Asia: return 6.5;
+    case Region::SouthAmerica: return 17.0;
+    case Region::Oceania: return 20.0;
+  }
+  return 1.0;
+}
+
+double link_price(Region a, Region b) {
+  return (relative_price(a) + relative_price(b)) / 2.0;
+}
+
+void apply_region_pricing(Topology& topo, std::span<const Region> node_regions) {
+  if (static_cast<int>(node_regions.size()) != topo.num_nodes()) {
+    throw std::invalid_argument(
+        "apply_region_pricing: one region per node required");
+  }
+  for (EdgeId e = 0; e < topo.num_edges(); ++e) {
+    const Edge& edge = topo.edge(e);
+    topo.set_price(e, link_price(node_regions[edge.src], node_regions[edge.dst]));
+  }
+}
+
+}  // namespace metis::net

@@ -1,0 +1,38 @@
+// Region-based bandwidth pricing.
+//
+// The paper sets link prices "based on the relative bandwidth prices
+// provided by Cloudflare" [9]: transit in North America and Europe is the
+// cheap baseline while Asia, South America and Oceania are several times
+// more expensive.  We encode those relative factors; a link's price is the
+// mean of its endpoint regions' factors.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "net/topology.h"
+
+namespace metis::net {
+
+enum class Region {
+  NorthAmerica,
+  Europe,
+  Asia,
+  SouthAmerica,
+  Oceania,
+};
+
+std::string to_string(Region region);
+
+/// Relative price of one bandwidth unit terminating in `region`
+/// (North America / Europe = 1.0 baseline).
+double relative_price(Region region);
+
+/// Price of a link between two regions: mean of the endpoint factors.
+double link_price(Region a, Region b);
+
+/// Re-prices every edge of `topo` from a per-node region assignment.
+/// `node_regions` must have one entry per node.
+void apply_region_pricing(Topology& topo, std::span<const Region> node_regions);
+
+}  // namespace metis::net

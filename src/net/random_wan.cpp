@@ -1,0 +1,54 @@
+#include "net/random_wan.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace metis::net {
+
+Topology random_wan(const RandomWanConfig& config, Rng& rng) {
+  if (config.num_nodes < 2) {
+    throw std::invalid_argument("random_wan: need at least two nodes");
+  }
+  if (config.alpha <= 0 || config.beta <= 0 || config.beta > 1) {
+    throw std::invalid_argument("random_wan: bad Waxman parameters");
+  }
+  if (config.min_price <= 0 || config.min_price > config.max_price) {
+    throw std::invalid_argument("random_wan: bad price range");
+  }
+
+  const int n = config.num_nodes;
+  std::vector<double> x(n), y(n);
+  for (int i = 0; i < n; ++i) {
+    x[i] = rng.uniform(0, 1);
+    y[i] = rng.uniform(0, 1);
+  }
+  Topology topo(n);
+  const double diag = std::sqrt(2.0);
+  const auto link_price = [&] {
+    return rng.uniform(config.min_price, config.max_price);
+  };
+
+  // Waxman edges.
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      const double dist = std::hypot(x[a] - x[b], y[a] - y[b]);
+      const double p = config.beta * std::exp(-dist / (config.alpha * diag));
+      if (rng.bernoulli(p)) topo.add_link(a, b, link_price());
+    }
+  }
+  // Random spanning tree for guaranteed strong connectivity: attach each
+  // node (in random order) to a random earlier node.
+  const std::vector<std::size_t> order = rng.permutation(n);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const NodeId node = static_cast<NodeId>(order[i]);
+    const NodeId anchor =
+        static_cast<NodeId>(order[rng.uniform_int(0, static_cast<int>(i) - 1)]);
+    if (topo.find_edge(node, anchor) == -1) {
+      topo.add_link(node, anchor, link_price());
+    }
+  }
+  return topo;
+}
+
+}  // namespace metis::net

@@ -1,0 +1,32 @@
+// Random WAN generation (Waxman-style) for stress and property testing
+// beyond the two reference topologies.
+//
+// The generator places data centers uniformly in the unit square, connects
+// them with the classic Waxman probability
+//     P(u, v) = beta * exp(-dist(u, v) / (alpha * sqrt(2)))
+// and then adds a random spanning tree so the result is always strongly
+// connected (every link is bidirectional).  Prices are drawn per link from
+// a configurable range, mimicking the regional spread of real transit
+// markets.
+#pragma once
+
+#include "net/topology.h"
+#include "util/rng.h"
+
+namespace metis::net {
+
+struct RandomWanConfig {
+  int num_nodes = 10;
+  /// Waxman parameters: larger alpha favours long links, larger beta raises
+  /// overall edge density.
+  double alpha = 0.4;
+  double beta = 0.6;
+  double min_price = 1.0;
+  double max_price = 6.5;
+};
+
+/// Generates a strongly connected bidirectional WAN.  Deterministic in the
+/// rng state.  Throws std::invalid_argument on malformed config.
+Topology random_wan(const RandomWanConfig& config, Rng& rng);
+
+}  // namespace metis::net

@@ -1,0 +1,83 @@
+#include "net/topologies.h"
+
+namespace metis::net {
+
+const std::vector<std::pair<NodeId, NodeId>>& b4_links() {
+  // 19 bidirectional links over 12 nodes, reconstructed to match the scale
+  // and path diversity of the B4 figure (two/three disjoint routes between
+  // most DC pairs, a US cluster, a Europe bridge and an Asia cluster).
+  static const std::vector<std::pair<NodeId, NodeId>> links = {
+      {0, 1}, {0, 2},  {1, 2},  {1, 3},  {2, 3},   {2, 4},  {3, 4},
+      {3, 5}, {4, 5},  {4, 6},  {5, 6},  {5, 7},   {6, 7},  {6, 8},
+      {7, 8}, {8, 9},  {8, 10}, {9, 11}, {10, 11},
+  };
+  return links;
+}
+
+const std::vector<Region>& b4_regions() {
+  static const std::vector<Region> regions = {
+      Region::NorthAmerica, Region::NorthAmerica, Region::NorthAmerica,
+      Region::NorthAmerica, Region::NorthAmerica, Region::NorthAmerica,
+      Region::Europe,       Region::Europe,       Region::Asia,
+      Region::Asia,         Region::Asia,         Region::Asia,
+  };
+  return regions;
+}
+
+Topology make_b4() {
+  Topology topo(12);
+  for (const auto& [a, b] : b4_links()) topo.add_link(a, b, 1.0);
+  apply_region_pricing(topo, b4_regions());
+  return topo;
+}
+
+Topology make_sub_b4() {
+  // DC1..DC6 with 7 links: a slice of B4 that, like the full WAN, spans the
+  // three pricing regions (cheap NA core, a Europe bridge, an Asia tail) so
+  // that routing and acceptance decisions stay price-sensitive.
+  Topology topo(6);
+  const std::vector<std::pair<NodeId, NodeId>> links = {
+      {0, 1}, {0, 2}, {1, 3}, {2, 3}, {2, 4}, {3, 5}, {4, 5},
+  };
+  for (const auto& [a, b] : links) topo.add_link(a, b, 1.0);
+  const std::vector<Region> regions = {
+      Region::NorthAmerica, Region::NorthAmerica, Region::NorthAmerica,
+      Region::Europe,       Region::Asia,         Region::Asia,
+  };
+  apply_region_pricing(topo, regions);
+  return topo;
+}
+
+const std::vector<std::string>& internet2_cities() {
+  static const std::vector<std::string> cities = {
+      "Seattle",     "Sunnyvale", "LosAngeles", "Denver",
+      "KansasCity",  "Houston",   "Chicago",    "Indianapolis",
+      "Atlanta",     "Washington", "NewYork",
+  };
+  return cities;
+}
+
+Topology make_internet2() {
+  // The Abilene backbone: 11 PoPs, 14 bidirectional links.
+  Topology topo(11);
+  const std::vector<std::pair<NodeId, NodeId>> links = {
+      {0, 1},  // Seattle - Sunnyvale
+      {0, 3},  // Seattle - Denver
+      {1, 2},  // Sunnyvale - Los Angeles
+      {1, 3},  // Sunnyvale - Denver
+      {2, 5},  // Los Angeles - Houston
+      {3, 4},  // Denver - Kansas City
+      {4, 5},  // Kansas City - Houston
+      {4, 7},  // Kansas City - Indianapolis
+      {5, 8},  // Houston - Atlanta
+      {6, 7},  // Chicago - Indianapolis
+      {6, 10}, // Chicago - New York
+      {7, 8},  // Indianapolis - Atlanta
+      {8, 9},  // Atlanta - Washington
+      {9, 10}, // Washington - New York
+  };
+  for (const auto& [a, b] : links) topo.add_link(a, b, 1.0);
+  return topo;
+}
+
+}  // namespace metis::net

@@ -1,0 +1,40 @@
+// Reference topologies used in the paper's evaluation (Section V.A):
+//
+//  * B4     — Google's inter-DC WAN: 12 data centers, 19 bidirectional links
+//             (reconstructed from Fig. 2 of the paper; see DESIGN.md).
+//  * SUB-B4 — the DC1..DC6 sub-network with 7 of those links.
+//
+// Prices follow the Cloudflare-relative region model in net/pricing.h:
+// DC1..DC6 North America, DC7..DC8 Europe, DC9..DC12 Asia.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/pricing.h"
+#include "net/topology.h"
+
+namespace metis::net {
+
+/// The 19 bidirectional links of the reconstructed B4 graph as node pairs
+/// (0-based node ids).
+const std::vector<std::pair<NodeId, NodeId>>& b4_links();
+
+/// Region of each of the 12 B4 data centers.
+const std::vector<Region>& b4_regions();
+
+/// Full B4: 12 nodes, 38 directed edges, region-based prices, uncapacitated.
+Topology make_b4();
+
+/// SUB-B4: nodes DC1..DC6 (ids 0..5), 7 links, 14 directed edges.
+Topology make_sub_b4();
+
+/// Internet2/Abilene (extension): the classic 11-node, 14-link US research
+/// WAN, for experiments beyond the paper's two networks.  All nodes are
+/// North America, so prices are uniform at the NA baseline.
+Topology make_internet2();
+
+/// City names of the Internet2 nodes (index = node id).
+const std::vector<std::string>& internet2_cities();
+
+}  // namespace metis::net

@@ -1,0 +1,68 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace metis::net {
+
+Topology::Topology(int num_nodes) : num_nodes_(num_nodes), out_(num_nodes) {
+  if (num_nodes <= 0) {
+    throw std::invalid_argument("Topology: need at least one node");
+  }
+}
+
+EdgeId Topology::add_edge(NodeId src, NodeId dst, double price, int capacity_units) {
+  if (!valid_node(src) || !valid_node(dst)) {
+    throw std::invalid_argument("add_edge: node id out of range");
+  }
+  if (src == dst) throw std::invalid_argument("add_edge: self loop");
+  if (price < 0) throw std::invalid_argument("add_edge: negative price");
+  if (capacity_units < 0) throw std::invalid_argument("add_edge: negative capacity");
+  if (find_edge(src, dst) != -1) {
+    throw std::invalid_argument("add_edge: parallel edge");
+  }
+  edges_.push_back(Edge{src, dst, price, capacity_units});
+  const EdgeId id = static_cast<EdgeId>(edges_.size()) - 1;
+  out_[src].push_back(id);
+  return id;
+}
+
+EdgeId Topology::add_link(NodeId a, NodeId b, double price, int capacity_units) {
+  const EdgeId forward = add_edge(a, b, price, capacity_units);
+  add_edge(b, a, price, capacity_units);
+  return forward;
+}
+
+EdgeId Topology::find_edge(NodeId src, NodeId dst) const {
+  if (!valid_node(src) || !valid_node(dst)) return -1;
+  for (EdgeId e : out_[src]) {
+    if (edges_[e].dst == dst) return e;
+  }
+  return -1;
+}
+
+void Topology::set_price(EdgeId e, double price) {
+  if (price < 0) throw std::invalid_argument("set_price: negative price");
+  edges_.at(e).price = price;
+}
+
+void Topology::set_capacity(EdgeId e, int units) {
+  if (units < 0) throw std::invalid_argument("set_capacity: negative capacity");
+  edges_.at(e).capacity_units = units;
+}
+
+void Topology::set_uniform_capacity(int units) {
+  for (EdgeId e = 0; e < num_edges(); ++e) set_capacity(e, units);
+}
+
+int Topology::min_positive_capacity() const {
+  int best = 0;
+  for (const Edge& e : edges_) {
+    if (e.capacity_units > 0 && (best == 0 || e.capacity_units < best)) {
+      best = e.capacity_units;
+    }
+  }
+  return best;
+}
+
+}  // namespace metis::net

@@ -1,0 +1,72 @@
+// Topology: the inter-datacenter WAN graph G(V, E).
+//
+// Nodes are data centers; edges are *directed* links with a bandwidth price
+// u_e (cost of one 10 Gbps unit per billing cycle) and an optional capacity
+// in integer bandwidth units (0 = uncapacitated, used by RL-SPM where the
+// provider buys as much as it needs).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lp/types.h"
+
+namespace metis::net {
+
+using NodeId = int;
+using EdgeId = int;
+
+struct Edge {
+  NodeId src = 0;
+  NodeId dst = 0;
+  /// Bandwidth price u_e: cost of one unit (10 Gbps) for one billing cycle.
+  double price = 1.0;
+  /// Capacity in integer bandwidth units; 0 means "uncapacitated" (the
+  /// provider may purchase any amount).
+  int capacity_units = 0;
+};
+
+class Topology {
+ public:
+  explicit Topology(int num_nodes);
+
+  /// Adds a directed edge and returns its id.
+  EdgeId add_edge(NodeId src, NodeId dst, double price, int capacity_units = 0);
+
+  /// Adds the two directed edges of one bidirectional link; returns the id
+  /// of the first (src->dst); the reverse edge is the returned id + 1.
+  EdgeId add_link(NodeId a, NodeId b, double price, int capacity_units = 0);
+
+  int num_nodes() const { return num_nodes_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  const Edge& edge(EdgeId e) const { return edges_.at(e); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Outgoing edge ids of a node.
+  const std::vector<EdgeId>& out_edges(NodeId node) const {
+    return out_.at(node);
+  }
+
+  /// Id of the directed edge src->dst, or -1 if absent.
+  EdgeId find_edge(NodeId src, NodeId dst) const;
+
+  void set_price(EdgeId e, double price);
+  void set_capacity(EdgeId e, int units);
+  /// Sets every edge's capacity to `units` (the Fig. 4c/4d uniform setup).
+  void set_uniform_capacity(int units);
+
+  /// Minimum strictly positive capacity across edges (the constant `c` in
+  /// the paper's inequality (6)); returns 0 if every capacity is zero.
+  int min_positive_capacity() const;
+
+  /// True if `node` is a valid node id.
+  bool valid_node(NodeId node) const { return node >= 0 && node < num_nodes_; }
+
+ private:
+  int num_nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+};
+
+}  // namespace metis::net

@@ -1,0 +1,82 @@
+#include "net/topology_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+namespace metis::net {
+
+namespace {
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::runtime_error("topology parse error at line " +
+                           std::to_string(line) + ": " + message);
+}
+}  // namespace
+
+Topology read_topology(std::istream& in) {
+  std::optional<Topology> topo;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream ss(line);
+    std::string keyword;
+    if (!(ss >> keyword)) continue;  // blank line
+    if (keyword == "nodes") {
+      int n = 0;
+      if (!(ss >> n) || n <= 0) fail(line_no, "nodes expects a positive count");
+      if (topo) fail(line_no, "duplicate nodes line");
+      topo.emplace(n);
+    } else if (keyword == "edge" || keyword == "link") {
+      if (!topo) fail(line_no, "edge before nodes line");
+      int a = 0, b = 0;
+      double price = 0;
+      int capacity = 0;
+      if (!(ss >> a >> b >> price)) fail(line_no, "expected: src dst price");
+      ss >> capacity;  // optional
+      try {
+        if (keyword == "edge") {
+          topo->add_edge(a, b, price, capacity);
+        } else {
+          topo->add_link(a, b, price, capacity);
+        }
+      } catch (const std::invalid_argument& e) {
+        fail(line_no, e.what());
+      }
+    } else {
+      fail(line_no, "unknown keyword: " + keyword);
+    }
+  }
+  if (!topo) throw std::runtime_error("topology parse error: no nodes line");
+  return *std::move(topo);
+}
+
+Topology read_topology_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open topology file: " + path);
+  return read_topology(in);
+}
+
+void write_topology(std::ostream& out, const Topology& topo) {
+  // Full round-trip precision for prices.
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << "nodes " << topo.num_nodes() << '\n';
+  for (EdgeId e = 0; e < topo.num_edges(); ++e) {
+    const Edge& edge = topo.edge(e);
+    out << "edge " << edge.src << ' ' << edge.dst << ' ' << edge.price << ' '
+        << edge.capacity_units << '\n';
+  }
+}
+
+void write_topology_file(const std::string& path, const Topology& topo) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open topology file for write: " + path);
+  write_topology(out, topo);
+}
+
+}  // namespace metis::net

@@ -1,0 +1,25 @@
+// Plain-text serialization of topologies, so users can run the library on
+// their own WANs (see examples/wan_pricing.cpp).
+//
+// Format (lines; '#' starts a comment):
+//   nodes <N>
+//   edge <src> <dst> <price> [capacity_units]
+//   link <a> <b> <price> [capacity_units]     # bidirectional shorthand
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "net/topology.h"
+
+namespace metis::net {
+
+/// Parses a topology; throws std::runtime_error with a line number on error.
+Topology read_topology(std::istream& in);
+Topology read_topology_file(const std::string& path);
+
+/// Writes the `edge` form (directed, exact round-trip).
+void write_topology(std::ostream& out, const Topology& topo);
+void write_topology_file(const std::string& path, const Topology& topo);
+
+}  // namespace metis::net

@@ -1,0 +1,301 @@
+#include "sim/experiments.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "baselines/amoeba.h"
+#include "baselines/ecoflow.h"
+#include "baselines/mincost.h"
+#include "baselines/opt.h"
+#include "core/lp_builder.h"
+#include "core/maa.h"
+#include "core/metis.h"
+#include "core/taa.h"
+#include "sim/validate.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace metis::sim {
+
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Throws if the schedule over-uses its own purchase (every driver calls
+/// this before reporting, so no figure can be produced from an infeasible
+/// schedule).
+void assert_feasible(const core::SpmInstance& instance,
+                     const core::Schedule& schedule,
+                     const core::ChargingPlan& plan, const char* who) {
+  const auto violations = check_schedule(instance, schedule, plan);
+  if (!violations.empty()) {
+    throw std::runtime_error(std::string("infeasible schedule from ") + who +
+                             ": " + violations.front());
+  }
+}
+
+/// Averages `sample` into `acc` component-wise (utilization summaries are
+/// averaged on min/mean/max).
+struct MetricsAverager {
+  double revenue = 0, cost = 0, profit = 0, accepted = 0;
+  double util_min = 0, util_mean = 0, util_max = 0;
+  int n = 0;
+
+  void add(const SolutionMetrics& m) {
+    revenue += m.breakdown.revenue;
+    cost += m.breakdown.cost;
+    profit += m.breakdown.profit;
+    accepted += m.breakdown.accepted;
+    util_min += m.utilization.min;
+    util_mean += m.utilization.mean;
+    util_max += m.utilization.max;
+    ++n;
+  }
+  SolutionMetrics mean() const {
+    SolutionMetrics m;
+    if (n == 0) return m;
+    m.breakdown.revenue = revenue / n;
+    m.breakdown.cost = cost / n;
+    m.breakdown.profit = profit / n;
+    m.breakdown.accepted = static_cast<int>(accepted / n);
+    m.utilization.min = util_min / n;
+    m.utilization.mean = util_mean / n;
+    m.utilization.max = util_max / n;
+    m.utilization.count = static_cast<std::size_t>(n);
+    return m;
+  }
+};
+
+Scenario base_scenario(Network network, int num_requests, std::uint64_t seed) {
+  Scenario s;
+  s.network = network;
+  s.num_requests = num_requests;
+  s.seed = seed;
+  return s;
+}
+
+}  // namespace
+
+std::vector<Fig3Row> run_fig3(const Fig3Config& config) {
+  std::vector<Fig3Row> rows;
+  for (int k : config.sweep.request_counts) {
+    Fig3Row row;
+    row.num_requests = k;
+    MetricsAverager metis_avg, opt_avg, rl_avg;
+    double metis_ms = 0, opt_ms = 0, rl_ms = 0;
+    for (int rep = 0; rep < config.sweep.repetitions; ++rep) {
+      const Scenario scenario =
+          base_scenario(Network::SubB4, k, config.sweep.seed + rep);
+      const core::SpmInstance instance = make_instance(scenario);
+      Rng rng(scenario.seed * 7919 + 17);
+
+      double t0 = now_ms();
+      core::MetisOptions mopt;
+      mopt.theta = config.theta;
+      const core::MetisResult metis = core::run_metis(instance, rng, mopt);
+      metis_ms += now_ms() - t0;
+      assert_feasible(instance, metis.schedule, metis.plan, "Metis");
+      metis_avg.add(measure_with_plan(instance, metis.schedule, metis.plan));
+
+      // OPT(SPM), warm-started from Metis's decision so that a node/time
+      // budget can only improve on the heuristic, never fall below it.
+      t0 = now_ms();
+      const baselines::OptResult opt =
+          baselines::run_opt_spm(instance, config.mip, &metis.schedule);
+      opt_ms += now_ms() - t0;
+      if (!opt.ok()) throw std::runtime_error("fig3: OPT(SPM) found no incumbent");
+      row.opt_exact = row.opt_exact && opt.exact;
+      assert_feasible(instance, opt.schedule, opt.plan, "OPT(SPM)");
+      opt_avg.add(measure_with_plan(instance, opt.schedule, opt.plan));
+
+      // OPT(RL-SPM), warm-started from a best-of-32 MAA rounding.
+      t0 = now_ms();
+      core::MaaOptions maa_opt;
+      maa_opt.rounding_trials = 32;
+      Rng maa_rng(scenario.seed * 13 + 5);
+      const core::MaaResult maa = core::run_maa(instance, {}, maa_rng, maa_opt);
+      const baselines::OptResult rl =
+          maa.ok() ? baselines::run_opt_rl_spm(instance, config.mip, &maa.schedule)
+                   : baselines::run_opt_rl_spm(instance, config.mip);
+      rl_ms += now_ms() - t0;
+      if (!rl.ok()) throw std::runtime_error("fig3: OPT(RL-SPM) found no incumbent");
+      assert_feasible(instance, rl.schedule, rl.plan, "OPT(RL-SPM)");
+      rl_avg.add(measure_with_plan(instance, rl.schedule, rl.plan));
+    }
+    const int reps = config.sweep.repetitions;
+    row.metis = metis_avg.mean();
+    row.opt_spm = opt_avg.mean();
+    row.opt_rl_spm = rl_avg.mean();
+    row.metis_ms = metis_ms / reps;
+    row.opt_spm_ms = opt_ms / reps;
+    row.opt_rl_spm_ms = rl_ms / reps;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<Fig4aRow> run_fig4a(const Fig4aConfig& config) {
+  const SweepConfig& sweep = config.sweep;
+  std::vector<Fig4aRow> rows;
+  for (int k : sweep.request_counts) {
+    Fig4aRow row;
+    row.num_requests = k;
+    double maa_cost = 0, mincost_cost = 0, lp_cost = 0;
+    for (int rep = 0; rep < sweep.repetitions; ++rep) {
+      const Scenario scenario = base_scenario(Network::B4, k, sweep.seed + rep);
+      const core::SpmInstance instance = make_instance(scenario);
+      Rng rng(scenario.seed * 104729 + 3);
+
+      core::MaaOptions maa_options;
+      maa_options.rounding_trials = config.rounding_trials;
+      const core::MaaResult maa = core::run_maa(instance, {}, rng, maa_options);
+      if (!maa.ok()) throw std::runtime_error("fig4a: MAA LP failed");
+      assert_feasible(instance, maa.schedule, maa.plan, "MAA");
+      maa_cost += maa.cost;
+      lp_cost += maa.lp_cost;
+
+      const baselines::MinCostResult mc = baselines::run_mincost(instance);
+      assert_feasible(instance, mc.schedule, mc.plan, "MinCost");
+      mincost_cost += mc.cost;
+    }
+    row.maa_cost = maa_cost / sweep.repetitions;
+    row.mincost_cost = mincost_cost / sweep.repetitions;
+    row.lp_lower_bound = lp_cost / sweep.repetitions;
+    row.mincost_over_maa = row.maa_cost > 0 ? row.mincost_cost / row.maa_cost : 0;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<Fig4bRow> run_fig4b(const Fig4bConfig& config) {
+  std::vector<Fig4bRow> rows;
+  for (int k : config.request_counts) {
+    Fig4bRow row;
+    row.network = config.network;
+    row.num_requests = k;
+    row.trials = config.trials;
+    const Scenario scenario = base_scenario(config.network, k, config.seed);
+    const core::SpmInstance instance = make_instance(scenario);
+    Rng rng(config.seed * 65537 + 11);
+
+    // One LP solve shared by all roundings (the Fig. 4b protocol: "we
+    // repeat the randomized rounding procedure for 1000 times").
+    const core::SpmModel model = core::build_rl_spm(instance);
+    const lp::LpSolution relaxed = lp::SimplexSolver().solve(model.problem);
+    if (!relaxed.ok()) throw std::runtime_error("fig4b: LP relaxation failed");
+    row.lp_bound_cost = relaxed.objective;
+
+    // ILP reference, warm-started from a best-of-64 MAA rounding.
+    if (config.ilp_reference) {
+      core::MaaOptions maa_options;
+      maa_options.rounding_trials = 64;
+      Rng maa_rng(config.seed * 131 + 9);
+      const core::MaaResult maa = core::run_maa(instance, {}, maa_rng, maa_options);
+      const baselines::OptResult rl =
+          maa.ok() ? baselines::run_opt_rl_spm(instance, config.mip, &maa.schedule)
+                   : baselines::run_opt_rl_spm(instance, config.mip);
+      if (rl.ok()) {
+        row.ilp_cost = rl.breakdown.cost;
+        row.ilp_exact = rl.exact;
+      }
+    }
+
+    Accumulator ratios;  // vs the ILP reference (or LP when disabled)
+    const double reference = row.ilp_cost > 0 ? row.ilp_cost : row.lp_bound_cost;
+    Accumulator lp_ratios;
+    std::vector<double> weights;
+    for (int trial = 0; trial < config.trials; ++trial) {
+      core::Schedule schedule =
+          core::Schedule::all_declined(instance.num_requests());
+      for (int i = 0; i < instance.num_requests(); ++i) {
+        weights.clear();
+        for (int j = 0; j < instance.num_paths(i); ++j) {
+          weights.push_back(relaxed.x.at(model.x_var[i][j]));
+        }
+        schedule.path_choice[i] = static_cast<int>(rng.weighted_index(weights));
+      }
+      const core::ChargingPlan plan =
+          core::charging_from_loads(core::compute_loads(instance, schedule));
+      const double rounded_cost = core::cost(instance.topology(), plan);
+      ratios.add(rounded_cost / reference);
+      lp_ratios.add(rounded_cost / row.lp_bound_cost);
+    }
+    row.ratio_mean_vs_ilp = ratios.mean();
+    row.ratio_max_vs_ilp = ratios.max();
+    // Normal approximation of the 95th percentile: accurate for the
+    // near-normal ratio distribution observed at these trial counts.
+    row.ratio_p95_vs_ilp = ratios.mean() + 1.645 * ratios.stddev();
+    row.ratio_mean_vs_lp = lp_ratios.mean();
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<Fig4cdRow> run_fig4cd(const Fig4cdConfig& config) {
+  std::vector<Fig4cdRow> rows;
+  for (int k : config.sweep.request_counts) {
+    Fig4cdRow row;
+    row.num_requests = k;
+    for (int rep = 0; rep < config.sweep.repetitions; ++rep) {
+      Scenario scenario = base_scenario(Network::B4, k, config.sweep.seed + rep);
+      scenario.uniform_capacity = config.uniform_capacity;
+      const core::SpmInstance instance = make_instance(scenario);
+      core::ChargingPlan capacities;
+      capacities.units.assign(instance.num_edges(), config.uniform_capacity);
+
+      const core::TaaResult taa = core::run_taa(instance, capacities);
+      if (!taa.ok()) throw std::runtime_error("fig4cd: TAA LP failed");
+      assert_feasible(instance, taa.schedule, capacities, "TAA");
+      row.taa_revenue += taa.revenue;
+      row.taa_accepted += taa.schedule.num_accepted();
+      row.lp_revenue_bound += taa.lp_revenue;
+
+      const baselines::AmoebaResult amoeba = baselines::run_amoeba(instance, capacities);
+      assert_feasible(instance, amoeba.schedule, capacities, "Amoeba");
+      row.amoeba_revenue += amoeba.revenue;
+      row.amoeba_accepted += amoeba.accepted;
+    }
+    const int reps = config.sweep.repetitions;
+    row.taa_revenue /= reps;
+    row.amoeba_revenue /= reps;
+    row.taa_accepted /= reps;
+    row.amoeba_accepted /= reps;
+    row.lp_revenue_bound /= reps;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<Fig5Row> run_fig5(const Fig5Config& config) {
+  std::vector<Fig5Row> rows;
+  for (int k : config.sweep.request_counts) {
+    Fig5Row row;
+    row.num_requests = k;
+    MetricsAverager metis_avg, eco_avg;
+    for (int rep = 0; rep < config.sweep.repetitions; ++rep) {
+      const Scenario scenario = base_scenario(Network::B4, k, config.sweep.seed + rep);
+      const core::SpmInstance instance = make_instance(scenario);
+      Rng rng(scenario.seed * 9973 + 7);
+
+      core::MetisOptions mopt;
+      mopt.theta = config.theta;
+      const core::MetisResult metis = core::run_metis(instance, rng, mopt);
+      assert_feasible(instance, metis.schedule, metis.plan, "Metis");
+      metis_avg.add(measure_with_plan(instance, metis.schedule, metis.plan));
+
+      const baselines::EcoFlowResult eco = baselines::run_ecoflow(instance);
+      assert_feasible(instance, eco.schedule, eco.plan, "EcoFlow");
+      eco_avg.add(measure_with_plan(instance, eco.schedule, eco.plan));
+    }
+    row.metis = metis_avg.mean();
+    row.ecoflow = eco_avg.mean();
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace metis::sim

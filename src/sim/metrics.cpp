@@ -1,0 +1,21 @@
+#include "sim/metrics.h"
+
+namespace metis::sim {
+
+SolutionMetrics measure(const core::SpmInstance& instance,
+                        const core::Schedule& schedule) {
+  const core::ChargingPlan plan =
+      core::charging_from_loads(core::compute_loads(instance, schedule));
+  return measure_with_plan(instance, schedule, plan);
+}
+
+SolutionMetrics measure_with_plan(const core::SpmInstance& instance,
+                                  const core::Schedule& schedule,
+                                  const core::ChargingPlan& plan) {
+  SolutionMetrics metrics;
+  metrics.breakdown = core::evaluate_with_plan(instance, schedule, plan);
+  metrics.utilization = core::utilization_summary(instance, schedule, plan);
+  return metrics;
+}
+
+}  // namespace metis::sim

@@ -1,0 +1,27 @@
+// SolutionMetrics: the bundle of numbers every figure reports for one
+// solution — profit breakdown, acceptance and link utilization.
+#pragma once
+
+#include "core/accounting.h"
+#include "core/instance.h"
+#include "core/schedule.h"
+#include "util/stats.h"
+
+namespace metis::sim {
+
+struct SolutionMetrics {
+  core::ProfitBreakdown breakdown;
+  /// min/avg/max across purchased links of their time-averaged utilization.
+  Summary utilization;
+};
+
+/// Evaluates a schedule with a plan derived from its own loads.
+SolutionMetrics measure(const core::SpmInstance& instance,
+                        const core::Schedule& schedule);
+
+/// Evaluates a schedule against an explicit purchase plan.
+SolutionMetrics measure_with_plan(const core::SpmInstance& instance,
+                                  const core::Schedule& schedule,
+                                  const core::ChargingPlan& plan);
+
+}  // namespace metis::sim

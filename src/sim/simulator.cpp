@@ -1,0 +1,89 @@
+#include "sim/simulator.h"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/validate.h"
+
+namespace metis::sim {
+
+BillingCycleSimulator::BillingCycleSimulator(SimulationConfig config)
+    : config_(std::move(config)) {
+  if (config_.cycles <= 0) {
+    throw std::invalid_argument("SimulationConfig: cycles must be positive");
+  }
+  if (config_.demand_growth < -1) {
+    throw std::invalid_argument("SimulationConfig: growth below -100%");
+  }
+}
+
+int BillingCycleSimulator::cycle_requests(int cycle) const {
+  const double grown = config_.base.num_requests *
+                       std::pow(1.0 + config_.demand_growth, cycle);
+  return std::max(1, static_cast<int>(std::llround(grown)));
+}
+
+core::SpmInstance BillingCycleSimulator::cycle_instance(int cycle) const {
+  if (cycle < 0 || cycle >= config_.cycles) {
+    throw std::invalid_argument("cycle_instance: cycle out of range");
+  }
+  Scenario scenario = config_.base;
+  scenario.seed = config_.base.seed + static_cast<std::uint64_t>(cycle) * 7919;
+  scenario.num_requests = cycle_requests(cycle);
+  return make_instance(scenario);
+}
+
+std::vector<PolicyOutcome> BillingCycleSimulator::run(
+    const std::vector<std::unique_ptr<Policy>>& policies) const {
+  std::vector<PolicyOutcome> outcomes;
+  outcomes.reserve(policies.size());
+  for (const auto& policy : policies) {
+    PolicyOutcome outcome;
+    outcome.policy = policy->name();
+    outcomes.push_back(std::move(outcome));
+  }
+
+  for (int cycle = 0; cycle < config_.cycles; ++cycle) {
+    const core::SpmInstance instance = cycle_instance(cycle);
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      Rng rng(config_.base.seed * 104729 + cycle * 31 + p * 7 + 1);
+      const auto t0 = std::chrono::steady_clock::now();
+      const Decision decision = policies[p]->decide(instance, rng);
+      const auto t1 = std::chrono::steady_clock::now();
+
+      const auto violations =
+          check_schedule(instance, decision.schedule, decision.plan);
+      if (!violations.empty()) {
+        throw std::runtime_error("simulator: policy '" + policies[p]->name() +
+                                 "' produced an infeasible decision: " +
+                                 violations.front());
+      }
+      const auto coverage =
+          check_plan_covers_schedule(instance, decision.schedule, decision.plan);
+      if (!coverage.empty()) {
+        throw std::runtime_error("simulator: policy '" + policies[p]->name() +
+                                 "' under-purchased: " + coverage.front());
+      }
+
+      CycleOutcome co;
+      co.cycle = cycle;
+      co.offered_requests = instance.num_requests();
+      co.result = core::evaluate_with_plan(instance, decision.schedule,
+                                           decision.plan);
+      co.decide_ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+      PolicyOutcome& outcome = outcomes[p];
+      outcome.total_profit += co.result.profit;
+      outcome.total_revenue += co.result.revenue;
+      outcome.total_cost += co.result.cost;
+      outcome.total_accepted += co.result.accepted;
+      outcome.total_offered += co.offered_requests;
+      outcome.cycles.push_back(std::move(co));
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace metis::sim

@@ -1,0 +1,62 @@
+#include "sim/validate.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace metis::sim {
+
+std::vector<std::string> check_schedule(const core::SpmInstance& instance,
+                                        const core::Schedule& schedule,
+                                        const core::ChargingPlan& plan) {
+  std::vector<std::string> violations;
+  if (static_cast<int>(schedule.path_choice.size()) != instance.num_requests()) {
+    violations.push_back("schedule size mismatch");
+    return violations;
+  }
+  if (static_cast<int>(plan.units.size()) != instance.num_edges()) {
+    violations.push_back("plan size mismatch");
+    return violations;
+  }
+  for (int i = 0; i < instance.num_requests(); ++i) {
+    const int j = schedule.path_choice[i];
+    if (j == core::kDeclined) continue;
+    if (j < 0 || j >= instance.num_paths(i)) {
+      std::ostringstream os;
+      os << "request " << i << ": path index " << j << " out of range";
+      violations.push_back(os.str());
+    }
+  }
+  if (!violations.empty()) return violations;
+
+  const core::LoadMatrix loads = core::compute_loads(instance, schedule);
+  for (net::EdgeId e = 0; e < instance.num_edges(); ++e) {
+    for (int t = 0; t < instance.num_slots(); ++t) {
+      if (loads.at(e, t) > plan.units[e] + 1e-6) {
+        std::ostringstream os;
+        os << "edge " << e << " slot " << t << ": load " << loads.at(e, t)
+           << " exceeds capacity " << plan.units[e];
+        violations.push_back(os.str());
+      }
+    }
+  }
+  return violations;
+}
+
+std::vector<std::string> check_plan_covers_schedule(
+    const core::SpmInstance& instance, const core::Schedule& schedule,
+    const core::ChargingPlan& plan) {
+  std::vector<std::string> violations;
+  const core::ChargingPlan needed =
+      core::charging_from_loads(core::compute_loads(instance, schedule));
+  for (net::EdgeId e = 0; e < instance.num_edges(); ++e) {
+    if (plan.units[e] < needed.units[e]) {
+      std::ostringstream os;
+      os << "edge " << e << ": purchased " << plan.units[e]
+         << " units but schedule needs " << needed.units[e];
+      violations.push_back(os.str());
+    }
+  }
+  return violations;
+}
+
+}  // namespace metis::sim

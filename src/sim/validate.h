@@ -1,0 +1,28 @@
+// Schedule validators — the feasibility oracles used by tests and asserted
+// by the experiment drivers before any metric is reported.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/accounting.h"
+#include "core/instance.h"
+#include "core/schedule.h"
+
+namespace metis::sim {
+
+/// Returns human-readable violations of the schedule against `plan` used as
+/// capacities: bad shapes, and any (edge, slot) where the reserved load
+/// exceeds plan.units[e].  Empty vector = feasible.
+std::vector<std::string> check_schedule(const core::SpmInstance& instance,
+                                        const core::Schedule& schedule,
+                                        const core::ChargingPlan& plan);
+
+/// Checks that `plan` purchases at least the ceiled peak load of the
+/// schedule on every edge (i.e. the provider actually paid for what it
+/// reserved).  Empty vector = consistent.
+std::vector<std::string> check_plan_covers_schedule(
+    const core::SpmInstance& instance, const core::Schedule& schedule,
+    const core::ChargingPlan& plan);
+
+}  // namespace metis::sim

@@ -1,0 +1,79 @@
+#include "util/args.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace metis {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // boolean switch
+    }
+  }
+}
+
+std::string ArgParser::get(const std::string& name, const std::string& default_value) {
+  consumed_[name] = true;
+  declared_.emplace_back(name, default_value);
+  const auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int ArgParser::get_int(const std::string& name, int default_value) {
+  const std::string raw = get(name, std::to_string(default_value));
+  try {
+    return std::stoi(raw);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects an integer, got: " + raw);
+  }
+}
+
+double ArgParser::get_double(const std::string& name, double default_value) {
+  const std::string raw = get(name, std::to_string(default_value));
+  try {
+    return std::stod(raw);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects a number, got: " + raw);
+  }
+}
+
+bool ArgParser::get_bool(const std::string& name, bool default_value) {
+  const std::string raw = get(name, default_value ? "true" : "false");
+  if (raw == "true" || raw == "1" || raw == "yes") return true;
+  if (raw == "false" || raw == "0" || raw == "no") return false;
+  throw std::invalid_argument("flag --" + name + " expects a boolean, got: " + raw);
+}
+
+void ArgParser::finish() const {
+  for (const auto& [name, _] : values_) {
+    if (!consumed_.count(name)) {
+      throw std::invalid_argument("unknown flag: --" + name);
+    }
+  }
+}
+
+std::string ArgParser::usage(const std::string& program_description) const {
+  std::ostringstream os;
+  os << program_description << "\n\nFlags:\n";
+  for (const auto& [name, def] : declared_) {
+    os << "  --" << name << " (default: " << def << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace metis

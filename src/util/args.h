@@ -1,0 +1,40 @@
+// Minimal command-line flag parsing for the example binaries.
+//
+// Supports `--name value` and `--name=value` forms plus boolean switches.
+// Unknown flags raise an error so typos are caught immediately.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace metis {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  /// Declares a flag with a default; returns the parsed (or default) value.
+  std::string get(const std::string& name, const std::string& default_value);
+  int get_int(const std::string& name, int default_value);
+  double get_double(const std::string& name, double default_value);
+  bool get_bool(const std::string& name, bool default_value);
+
+  /// True if --help / -h was passed.
+  bool help_requested() const { return help_; }
+
+  /// After all get*() declarations: throws std::invalid_argument if the
+  /// command line contained flags that were never declared.
+  void finish() const;
+
+  /// Renders declared flags and their defaults (for --help output).
+  std::string usage(const std::string& program_description) const;
+
+ private:
+  std::map<std::string, std::string> values_;     // parsed from argv
+  mutable std::map<std::string, bool> consumed_;  // flags declared via get*
+  std::vector<std::pair<std::string, std::string>> declared_;  // name, default
+  bool help_ = false;
+};
+
+}  // namespace metis

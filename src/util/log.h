@@ -1,0 +1,46 @@
+// Tiny leveled logger.  Default level is Warn so library code stays quiet in
+// tests and benches; examples raise it to Info for narration.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace metis {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global minimum level that is emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits `message` to stderr if `level` passes the global threshold.
+void log_message(LogLevel level, const std::string& message);
+
+namespace internal {
+/// Stream-style helper: LogLine(LogLevel::Info) << "x=" << x; emits on
+/// destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define METIS_LOG(level) ::metis::internal::LogLine(level)
+#define METIS_LOG_INFO METIS_LOG(::metis::LogLevel::Info)
+#define METIS_LOG_WARN METIS_LOG(::metis::LogLevel::Warn)
+#define METIS_LOG_DEBUG METIS_LOG(::metis::LogLevel::Debug)
+
+}  // namespace metis

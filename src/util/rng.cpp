@@ -1,0 +1,62 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace metis {
+
+double Rng::uniform(double lo, double hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform: lo > hi");
+  if (lo == hi) return lo;
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+  return std::uniform_int_distribution<int>(lo, hi)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+int Rng::poisson(double mean) {
+  if (mean <= 0) throw std::invalid_argument("Rng::poisson: mean <= 0");
+  return std::poisson_distribution<int>(mean)(engine_);
+}
+
+double Rng::exponential(double rate) {
+  if (rate <= 0) throw std::invalid_argument("Rng::exponential: rate <= 0");
+  return std::exponential_distribution<double>(rate)(engine_);
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  double total = 0;
+  for (double w : weights) total += std::max(w, 0.0);
+  if (total <= 0) {
+    throw std::invalid_argument("Rng::weighted_index: no positive weight");
+  }
+  double draw = uniform(0.0, total);
+  double acc = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += std::max(weights[i], 0.0);
+    if (draw < acc) return i;
+  }
+  // Floating-point slack: fall back to the last positive weight.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::shuffle(perm.begin(), perm.end(), engine_);
+  return perm;
+}
+
+Rng Rng::fork() { return Rng(engine_()); }
+
+}  // namespace metis

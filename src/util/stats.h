@@ -1,0 +1,48 @@
+// Summary statistics used throughout evaluation harnesses and tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace metis {
+
+/// Aggregate statistics of a sample of doubles.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double stddev = 0;  ///< population standard deviation
+  double sum = 0;
+};
+
+/// Computes summary statistics.  An empty sample yields a zeroed Summary.
+Summary summarize(std::span<const double> values);
+
+/// Linear-interpolation percentile, p in [0,100].  Requires non-empty input.
+double percentile(std::span<const double> values, double p);
+
+/// Incremental mean/variance accumulator (Welford).
+class Accumulator {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+  Summary summary() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  double sum_ = 0;
+};
+
+}  // namespace metis

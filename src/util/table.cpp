@@ -1,0 +1,95 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace metis {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers, int precision)
+    : headers_(std::move(headers)), precision_(precision) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("TablePrinter: need at least one header");
+  }
+}
+
+void TablePrinter::add_row(std::vector<Cell> row) {
+  if (row.size() != headers_.size()) {
+    throw std::invalid_argument("TablePrinter: row width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::format(const Cell& cell) const {
+  if (const auto* s = std::get_if<std::string>(&cell)) return *s;
+  std::ostringstream os;
+  if (const auto* d = std::get_if<double>(&cell)) {
+    os << std::fixed << std::setprecision(precision_) << *d;
+  } else {
+    os << std::get<long long>(cell);
+  }
+  return os.str();
+}
+
+std::string TablePrinter::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> formatted;
+    formatted.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      formatted.push_back(format(row[c]));
+      widths[c] = std::max(widths[c], formatted.back().size());
+    }
+    cells.push_back(std::move(formatted));
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "  " : "") << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += std::string(widths[c], '-');
+    if (c + 1 < widths.size()) rule += "  ";
+  }
+  os << rule << '\n';
+  for (const auto& row : cells) emit_row(row);
+  return os.str();
+}
+
+std::string TablePrinter::to_csv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c ? "," : "") << quote(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "," : "") << quote(format(row[c]));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void TablePrinter::print(std::ostream& os) const { os << to_string() << '\n'; }
+
+}  // namespace metis

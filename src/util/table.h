@@ -1,0 +1,45 @@
+// Plain-text table and CSV rendering for benchmark/experiment output.
+//
+// Every figure-reproduction bench prints its series through TablePrinter so
+// that the output format is uniform and machine-parsable (`--csv`-like dumps
+// via to_csv()).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace metis {
+
+/// A cell is either text or a number (formatted with fixed precision).
+using Cell = std::variant<std::string, double, long long>;
+
+class TablePrinter {
+ public:
+  /// `precision` controls how double cells are formatted.
+  explicit TablePrinter(std::vector<std::string> headers, int precision = 3);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<Cell> row);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders an aligned ASCII table.
+  std::string to_string() const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+  /// Convenience: prints to_string() to the stream with a trailing newline.
+  void print(std::ostream& os) const;
+
+ private:
+  std::string format(const Cell& cell) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_;
+};
+
+}  // namespace metis

@@ -1,0 +1,82 @@
+#include "workload/generator.h"
+
+#include <stdexcept>
+
+#include "net/paths.h"
+
+namespace metis::workload {
+
+RequestGenerator::RequestGenerator(const net::Topology& topo, GeneratorConfig config)
+    : topo_(&topo), config_(config) {
+  if (config_.num_slots <= 0) {
+    throw std::invalid_argument("GeneratorConfig: num_slots must be positive");
+  }
+  if (config_.min_rate <= 0 || config_.min_rate > config_.max_rate) {
+    throw std::invalid_argument("GeneratorConfig: bad rate range");
+  }
+  if (config_.value_noise < 0 || config_.value_noise >= 1) {
+    throw std::invalid_argument("GeneratorConfig: noise must be in [0,1)");
+  }
+  if (config_.low_value_fraction < 0 || config_.low_value_fraction > 1) {
+    throw std::invalid_argument(
+        "GeneratorConfig: low_value_fraction must be in [0,1]");
+  }
+  if (config_.low_value_min <= 0 ||
+      config_.low_value_min > config_.low_value_max) {
+    throw std::invalid_argument("GeneratorConfig: bad low-value multiplier range");
+  }
+  for (net::NodeId s = 0; s < topo.num_nodes(); ++s) {
+    for (net::NodeId d = 0; d < topo.num_nodes(); ++d) {
+      if (s == d) continue;
+      if (net::shortest_path(topo, s, d)) connected_pairs_.emplace_back(s, d);
+    }
+  }
+  if (connected_pairs_.empty()) {
+    throw std::invalid_argument("RequestGenerator: no connected DC pairs");
+  }
+}
+
+Request RequestGenerator::sample_one(int start_slot, Rng& rng) const {
+  Request r;
+  const auto& pair = connected_pairs_[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<int>(connected_pairs_.size()) - 1))];
+  r.src = pair.first;
+  r.dst = pair.second;
+  r.start_slot = start_slot;
+  r.end_slot = rng.uniform_int(start_slot, config_.num_slots - 1);
+  r.rate = rng.uniform(config_.min_rate, config_.max_rate);
+  const double volume = r.rate * r.duration();
+  const double noise =
+      rng.uniform(1.0 - config_.value_noise, 1.0 + config_.value_noise);
+  r.value = volume * config_.value_per_unit_slot * noise;
+  if (rng.bernoulli(config_.low_value_fraction)) {
+    r.value *= rng.uniform(config_.low_value_min, config_.low_value_max);
+  }
+  validate_request(r, topo_->num_nodes(), config_.num_slots);
+  return r;
+}
+
+std::vector<Request> RequestGenerator::generate(int count, Rng& rng) const {
+  if (count < 0) throw std::invalid_argument("generate: negative count");
+  std::vector<Request> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    out.push_back(sample_one(rng.uniform_int(0, config_.num_slots - 1), rng));
+  }
+  return out;
+}
+
+std::vector<Request> RequestGenerator::generate_poisson(double arrivals_per_slot,
+                                                        Rng& rng) const {
+  if (arrivals_per_slot <= 0) {
+    throw std::invalid_argument("generate_poisson: rate must be positive");
+  }
+  std::vector<Request> out;
+  for (int slot = 0; slot < config_.num_slots; ++slot) {
+    const int arrivals = rng.poisson(arrivals_per_slot);
+    for (int i = 0; i < arrivals; ++i) out.push_back(sample_one(slot, rng));
+  }
+  return out;
+}
+
+}  // namespace metis::workload

@@ -1,0 +1,66 @@
+// Synthetic request generation following Section V.A of the paper:
+//
+//  * arrivals follow a Poisson distribution over the 12 slots of a cycle;
+//  * bandwidth requirements are uniform in [0.1, 5] Gbps = [0.01, 0.5] units;
+//  * start/end slots fall randomly within the cycle;
+//  * endpoints are uniform over distinct connected DC pairs;
+//  * values derive from the reserved volume (rate x duration) at a unit
+//    price comparable to public cloud bandwidth price lists, with market
+//    noise (see DESIGN.md's substitution table).
+#pragma once
+
+#include <vector>
+
+#include "net/topology.h"
+#include "util/rng.h"
+#include "workload/request.h"
+
+namespace metis::workload {
+
+struct GeneratorConfig {
+  int num_slots = 12;
+  double min_rate = 0.01;  ///< units (= 0.1 Gbps)
+  double max_rate = 0.5;   ///< units (= 5 Gbps)
+  /// Value per unit of rate per active slot before noise.  The default is
+  /// calibrated so that a typical request is comfortably profitable on
+  /// cheap links and marginal on expensive ones — the regime in which the
+  /// paper's acceptance decisions are interesting.
+  double value_per_unit_slot = 2.5;
+  /// Multiplicative noise: value *= U(1-noise, 1+noise).
+  double value_noise = 0.2;
+  /// Fraction of "bargain" customers whose bids sit well below the market
+  /// rate (value additionally multiplied by U(low_value_min, low_value_max)).
+  /// These are the requests a profit-maximizing provider should decline;
+  /// without them accepting everything is trivially optimal and Fig. 3's
+  /// OPT(SPM) vs OPT(RL-SPM) gap vanishes.
+  double low_value_fraction = 0.25;
+  double low_value_min = 0.05;
+  double low_value_max = 0.4;
+};
+
+class RequestGenerator {
+ public:
+  /// Endpoint pairs are sampled only among pairs connected in `topo`.
+  RequestGenerator(const net::Topology& topo, GeneratorConfig config);
+
+  /// Exactly `count` requests; start slots i.i.d. uniform (a homogeneous
+  /// Poisson process conditioned on its total count), end slots uniform in
+  /// [start, T-1].  This is the form used when sweeping "number of
+  /// requests" on the x-axis of the paper's figures.
+  std::vector<Request> generate(int count, Rng& rng) const;
+
+  /// Open-ended Poisson form: the number of arrivals in each slot is
+  /// Poisson(`arrivals_per_slot`); expected total = T * arrivals_per_slot.
+  std::vector<Request> generate_poisson(double arrivals_per_slot, Rng& rng) const;
+
+  const GeneratorConfig& config() const { return config_; }
+
+ private:
+  Request sample_one(int start_slot, Rng& rng) const;
+
+  const net::Topology* topo_;
+  GeneratorConfig config_;
+  std::vector<std::pair<net::NodeId, net::NodeId>> connected_pairs_;
+};
+
+}  // namespace metis::workload

@@ -1,0 +1,23 @@
+#include "workload/request.h"
+
+#include <stdexcept>
+
+namespace metis::workload {
+
+void validate_request(const Request& request, int num_nodes, int num_slots) {
+  if (request.src < 0 || request.src >= num_nodes ||
+      request.dst < 0 || request.dst >= num_nodes) {
+    throw std::invalid_argument("request: endpoint out of range");
+  }
+  if (request.src == request.dst) {
+    throw std::invalid_argument("request: src == dst");
+  }
+  if (request.start_slot < 0 || request.end_slot >= num_slots ||
+      request.start_slot > request.end_slot) {
+    throw std::invalid_argument("request: bad time window");
+  }
+  if (request.rate <= 0) throw std::invalid_argument("request: rate must be > 0");
+  if (request.value < 0) throw std::invalid_argument("request: negative value");
+}
+
+}  // namespace metis::workload

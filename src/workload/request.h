@@ -1,0 +1,36 @@
+// Request: the paper's six-tuple {s_i, d_i, ts_i, td_i, r_i, v_i}.
+//
+// Rates are expressed in *bandwidth units* (1 unit = 10 Gbps, the purchase
+// granularity ISPs charge in); e.g. the paper's U(0.1, 5) Gbps requirement
+// becomes U(0.01, 0.5) units.  Slots are 0-based and inclusive on both ends.
+#pragma once
+
+#include <vector>
+
+#include "net/topology.h"
+
+namespace metis::workload {
+
+struct Request {
+  net::NodeId src = 0;
+  net::NodeId dst = 0;
+  int start_slot = 0;  ///< ts_i, 0-based
+  int end_slot = 0;    ///< td_i, inclusive
+  double rate = 0;     ///< r_i in bandwidth units
+  double value = 0;    ///< v_i, the customer's bid
+
+  bool active_at(int slot) const {
+    return slot >= start_slot && slot <= end_slot;
+  }
+  int duration() const { return end_slot - start_slot + 1; }
+  /// r_{i,t}: the rate when active, 0 otherwise.
+  double rate_at(int slot) const { return active_at(slot) ? rate : 0.0; }
+
+  bool operator==(const Request& other) const = default;
+};
+
+/// Throws std::invalid_argument if the request is malformed with respect to
+/// a topology with `num_nodes` nodes and a cycle of `num_slots` slots.
+void validate_request(const Request& request, int num_nodes, int num_slots);
+
+}  // namespace metis::workload

@@ -1,0 +1,80 @@
+#include "workload/workload_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace metis::workload {
+
+namespace {
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::runtime_error("workload parse error at line " +
+                           std::to_string(line) + ": " + message);
+}
+}  // namespace
+
+Workload read_workload(std::istream& in) {
+  Workload w;
+  bool have_slots = false;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream ss(line);
+    std::string keyword;
+    if (!(ss >> keyword)) continue;
+    if (keyword == "slots") {
+      if (have_slots) fail(line_no, "duplicate slots line");
+      if (!(ss >> w.num_slots) || w.num_slots <= 0) {
+        fail(line_no, "slots expects a positive count");
+      }
+      have_slots = true;
+    } else if (keyword == "request") {
+      if (!have_slots) fail(line_no, "request before slots line");
+      Request r;
+      if (!(ss >> r.src >> r.dst >> r.start_slot >> r.end_slot >> r.rate >>
+            r.value)) {
+        fail(line_no, "expected: src dst start end rate value");
+      }
+      if (r.start_slot < 0 || r.end_slot >= w.num_slots ||
+          r.start_slot > r.end_slot || r.rate <= 0 || r.value < 0) {
+        fail(line_no, "malformed request fields");
+      }
+      w.requests.push_back(r);
+    } else {
+      fail(line_no, "unknown keyword: " + keyword);
+    }
+  }
+  if (!have_slots) throw std::runtime_error("workload parse error: no slots line");
+  return w;
+}
+
+Workload read_workload_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open workload file: " + path);
+  return read_workload(in);
+}
+
+void write_workload(std::ostream& out, const Workload& workload) {
+  // Full round-trip precision for rates and values.
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << "slots " << workload.num_slots << '\n';
+  for (const Request& r : workload.requests) {
+    out << "request " << r.src << ' ' << r.dst << ' ' << r.start_slot << ' '
+        << r.end_slot << ' ' << r.rate << ' ' << r.value << '\n';
+  }
+}
+
+void write_workload_file(const std::string& path, const Workload& workload) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open workload file for write: " + path);
+  }
+  write_workload(out, workload);
+}
+
+}  // namespace metis::workload

@@ -1,0 +1,27 @@
+// Plain-text serialization of request workloads.
+//
+// Format (lines; '#' starts a comment):
+//   slots <T>
+//   request <src> <dst> <start> <end> <rate> <value>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/request.h"
+
+namespace metis::workload {
+
+struct Workload {
+  int num_slots = 12;
+  std::vector<Request> requests;
+};
+
+Workload read_workload(std::istream& in);
+Workload read_workload_file(const std::string& path);
+
+void write_workload(std::ostream& out, const Workload& workload);
+void write_workload_file(const std::string& path, const Workload& workload);
+
+}  // namespace metis::workload

@@ -1,0 +1,224 @@
+// Tests for the comparison baselines: MinCost, Amoeba, EcoFlow and the
+// exact OPT solvers.
+#include <gtest/gtest.h>
+
+#include "baselines/amoeba.h"
+#include "baselines/ecoflow.h"
+#include "baselines/mincost.h"
+#include "baselines/opt.h"
+#include "core/accounting.h"
+#include "net/paths.h"
+#include "sim/scenario.h"
+#include "sim/validate.h"
+
+namespace metis::baselines {
+namespace {
+
+core::SpmInstance instance_for(std::uint64_t seed, int k,
+                               sim::Network net = sim::Network::SubB4) {
+  sim::Scenario s;
+  s.network = net;
+  s.num_requests = k;
+  s.seed = seed;
+  return sim::make_instance(s);
+}
+
+core::ChargingPlan uniform_caps(const core::SpmInstance& instance, int units) {
+  core::ChargingPlan caps;
+  caps.units.assign(instance.num_edges(), units);
+  return caps;
+}
+
+// -------------------------------------------------------------- MinCost --
+
+TEST(MinCost, AcceptsEverythingOnCheapestPath) {
+  const core::SpmInstance instance = instance_for(1, 25);
+  const MinCostResult result = run_mincost(instance);
+  EXPECT_EQ(result.schedule.num_accepted(), instance.num_requests());
+  for (int i = 0; i < instance.num_requests(); ++i) {
+    const int chosen = result.schedule.path_choice[i];
+    const double chosen_price = net::path_weight(
+        instance.topology(), instance.paths(i)[chosen], net::PathMetric::Price);
+    for (int j = 0; j < instance.num_paths(i); ++j) {
+      EXPECT_LE(chosen_price,
+                net::path_weight(instance.topology(), instance.paths(i)[j],
+                                 net::PathMetric::Price) +
+                    1e-12);
+    }
+  }
+}
+
+TEST(MinCost, PlanCoversLoads) {
+  const core::SpmInstance instance = instance_for(2, 40, sim::Network::B4);
+  const MinCostResult result = run_mincost(instance);
+  EXPECT_TRUE(
+      sim::check_plan_covers_schedule(instance, result.schedule, result.plan)
+          .empty());
+  EXPECT_NEAR(result.cost, core::cost(instance.topology(), result.plan), 1e-9);
+}
+
+// --------------------------------------------------------------- Amoeba --
+
+class AmoebaProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AmoebaProperty, NeverViolatesCapacity) {
+  const core::SpmInstance instance =
+      instance_for(GetParam(), 80, sim::Network::B4);
+  const core::ChargingPlan caps = uniform_caps(instance, 2);
+  const AmoebaResult result = run_amoeba(instance, caps);
+  EXPECT_TRUE(sim::check_schedule(instance, result.schedule, caps).empty());
+  EXPECT_NEAR(result.revenue, core::revenue(instance, result.schedule), 1e-9);
+  EXPECT_EQ(result.accepted, result.schedule.num_accepted());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AmoebaProperty, ::testing::Range(1, 9));
+
+TEST(Amoeba, MoreCapacityAcceptsMore) {
+  const core::SpmInstance instance = instance_for(3, 80, sim::Network::B4);
+  const AmoebaResult tight = run_amoeba(instance, uniform_caps(instance, 1));
+  const AmoebaResult loose = run_amoeba(instance, uniform_caps(instance, 50));
+  EXPECT_LE(tight.accepted, loose.accepted);
+  EXPECT_EQ(loose.accepted, instance.num_requests());  // everything fits
+}
+
+TEST(Amoeba, ZeroCapacityDeclinesAll) {
+  const core::SpmInstance instance = instance_for(4, 20);
+  const AmoebaResult result = run_amoeba(instance, uniform_caps(instance, 0));
+  EXPECT_EQ(result.accepted, 0);
+  EXPECT_DOUBLE_EQ(result.revenue, 0);
+}
+
+TEST(Amoeba, CapacityMismatchThrows) {
+  const core::SpmInstance instance = instance_for(5, 10);
+  EXPECT_THROW(run_amoeba(instance, core::ChargingPlan{{1}}),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------------- EcoFlow --
+
+TEST(EcoFlow, ProfitIsNonNegativeByConstruction) {
+  // Each accepted request strictly covers its incremental cost, and the
+  // increments telescope to the final cost, so profit > 0 whenever anything
+  // is accepted (and 0 otherwise).
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const core::SpmInstance instance = instance_for(seed, 60, sim::Network::B4);
+    const EcoFlowResult result = run_ecoflow(instance);
+    EXPECT_GE(result.profit, -1e-9) << "seed " << seed;
+    if (result.accepted > 0) {
+      EXPECT_GT(result.profit, 0) << "seed " << seed;
+    }
+  }
+}
+
+TEST(EcoFlow, BreakdownConsistent) {
+  const core::SpmInstance instance = instance_for(9, 50, sim::Network::B4);
+  const EcoFlowResult result = run_ecoflow(instance);
+  const core::ProfitBreakdown pb =
+      core::evaluate_with_plan(instance, result.schedule, result.plan);
+  EXPECT_NEAR(result.revenue, pb.revenue, 1e-9);
+  EXPECT_NEAR(result.cost, pb.cost, 1e-9);
+  EXPECT_NEAR(result.profit, pb.profit, 1e-9);
+  EXPECT_EQ(result.accepted, pb.accepted);
+  EXPECT_TRUE(
+      sim::check_plan_covers_schedule(instance, result.schedule, result.plan)
+          .empty());
+}
+
+TEST(EcoFlow, DeclinesWorthlessRequests) {
+  // A request whose value cannot cover even one unit of the cheapest path
+  // must be declined when it arrives on an empty network.
+  net::Topology topo(2);
+  topo.add_edge(0, 1, 10.0);  // expensive single link
+  topo.add_edge(1, 0, 10.0);
+  std::vector<workload::Request> requests = {{0, 1, 0, 0, 0.5, 1.0}};
+  core::InstanceConfig config;
+  config.num_slots = 2;
+  const core::SpmInstance instance(std::move(topo), std::move(requests), config);
+  const EcoFlowResult result = run_ecoflow(instance);
+  EXPECT_EQ(result.accepted, 0);
+}
+
+TEST(EcoFlow, AcceptsFreeRiders) {
+  // Once capacity is paid for, a second request that fits inside the same
+  // charged unit has zero incremental cost and must be accepted.
+  net::Topology topo(2);
+  topo.add_edge(0, 1, 1.0);
+  topo.add_edge(1, 0, 1.0);
+  std::vector<workload::Request> requests = {
+      {0, 1, 0, 0, 0.6, 5.0},   // pays for 1 unit in slot 0
+      {0, 1, 1, 1, 0.6, 0.01},  // different slot: fits in the same unit
+  };
+  core::InstanceConfig config;
+  config.num_slots = 2;
+  const core::SpmInstance instance(std::move(topo), std::move(requests), config);
+  const EcoFlowResult result = run_ecoflow(instance);
+  EXPECT_EQ(result.accepted, 2);
+  EXPECT_EQ(result.plan.units[0], 1);
+}
+
+// ------------------------------------------------------------------ OPT --
+
+TEST(Opt, SpmProfitAtLeastRlSpmProfit) {
+  // Free acceptance can never be worse than forced acceptance of all.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const core::SpmInstance instance = instance_for(seed, 12);
+    const OptResult opt = run_opt_spm(instance);
+    const OptResult rl = run_opt_rl_spm(instance);
+    ASSERT_TRUE(opt.ok());
+    ASSERT_TRUE(rl.ok());
+    EXPECT_GE(opt.breakdown.profit, rl.breakdown.profit - 1e-6)
+        << "seed " << seed;
+  }
+}
+
+TEST(Opt, RlSpmAcceptsEverything) {
+  const core::SpmInstance instance = instance_for(5, 12);
+  const OptResult rl = run_opt_rl_spm(instance);
+  ASSERT_TRUE(rl.ok());
+  EXPECT_EQ(rl.schedule.num_accepted(), instance.num_requests());
+}
+
+TEST(Opt, SpmNeverLosesMoney) {
+  // OPT(SPM) can always decline everything for profit 0.
+  const core::SpmInstance instance = instance_for(6, 12);
+  const OptResult opt = run_opt_spm(instance);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_GE(opt.breakdown.profit, -1e-9);
+}
+
+TEST(Opt, ExactFlagSetOnSmallInstances) {
+  const core::SpmInstance instance = instance_for(7, 8);
+  const OptResult opt = run_opt_spm(instance);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_TRUE(opt.exact);
+  EXPECT_EQ(opt.status, lp::SolveStatus::Optimal);
+}
+
+TEST(Opt, NodeLimitStillReturnsIncumbent) {
+  const core::SpmInstance instance = instance_for(8, 20);
+  lp::MipOptions options;
+  options.max_nodes = 3;
+  const OptResult opt = run_opt_spm(instance, options);
+  // Even with a tiny budget the root heuristic usually produces something;
+  // whatever comes back must be feasible and consistently labelled.
+  if (opt.ok()) {
+    EXPECT_TRUE(
+        sim::check_plan_covers_schedule(instance, opt.schedule, opt.plan)
+            .empty());
+  }
+  if (!opt.exact) {
+    EXPECT_NE(opt.status, lp::SolveStatus::Optimal);
+  }
+}
+
+TEST(Opt, ProfitMatchesReportedObjective) {
+  const core::SpmInstance instance = instance_for(9, 10);
+  const OptResult opt = run_opt_spm(instance);
+  ASSERT_TRUE(opt.ok());
+  const core::ProfitBreakdown pb =
+      core::evaluate_with_plan(instance, opt.schedule, opt.plan);
+  EXPECT_NEAR(pb.profit, opt.breakdown.profit, 1e-9);
+}
+
+}  // namespace
+}  // namespace metis::baselines

@@ -1,0 +1,107 @@
+// Tests for the Chernoff-Hoeffding machinery (B, D, mu selection).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/chernoff.h"
+
+namespace metis::core {
+namespace {
+
+TEST(ChernoffB, KnownValues) {
+  // B(m, 0) = 1 for any m.
+  EXPECT_NEAR(chernoff_b(5, 0), 1.0, 1e-12);
+  // B(1, 1) = e / 4.
+  EXPECT_NEAR(chernoff_b(1, 1), std::exp(1) / 4.0, 1e-12);
+  // Exponent scales linearly in m: B(2, 1) = (e/4)^2.
+  EXPECT_NEAR(chernoff_b(2, 1), std::pow(std::exp(1) / 4.0, 2), 1e-12);
+}
+
+TEST(ChernoffB, DecreasesInDelta) {
+  double prev = chernoff_b(3, 0.01);
+  for (double delta = 0.2; delta < 5; delta += 0.2) {
+    const double cur = chernoff_b(3, delta);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(ChernoffB, DecreasesInM) {
+  for (double delta : {0.5, 1.0, 2.0}) {
+    EXPECT_LT(chernoff_b(4, delta), chernoff_b(2, delta));
+  }
+}
+
+TEST(ChernoffB, RejectsBadArguments) {
+  EXPECT_THROW(log_chernoff_b(-1, 0.5), std::invalid_argument);
+  EXPECT_THROW(log_chernoff_b(1, -1.0), std::invalid_argument);
+}
+
+TEST(ChernoffD, InvertsB) {
+  for (double m : {0.5, 1.0, 4.0, 20.0}) {
+    for (double x : {0.5, 0.1, 0.01, 1e-6}) {
+      const double delta = chernoff_d(m, x);
+      EXPECT_NEAR(chernoff_b(m, delta), x, 1e-6 * (1 + x))
+          << "m=" << m << " x=" << x;
+    }
+  }
+}
+
+TEST(ChernoffD, MonotoneInX) {
+  // Smaller tail probability requires larger delta.
+  EXPECT_GT(chernoff_d(2, 0.01), chernoff_d(2, 0.1));
+  EXPECT_GT(chernoff_d(2, 0.1), chernoff_d(2, 0.5));
+}
+
+TEST(ChernoffD, RejectsBadArguments) {
+  EXPECT_THROW(chernoff_d(0, 0.5), std::invalid_argument);
+  EXPECT_THROW(chernoff_d(1, 0), std::invalid_argument);
+  EXPECT_THROW(chernoff_d(1, 1), std::invalid_argument);
+}
+
+TEST(ChooseMu, SatisfiesInequalityStrictly) {
+  // For each configuration, the returned mu must satisfy (6) and mu + eps
+  // must not (maximality), unless mu == 0 (no feasible mu).
+  const int T = 12;
+  for (int N : {14, 38}) {
+    for (double c : {2.0, 5.0, 20.0, 100.0}) {
+      const double mu = choose_mu(c, T, N);
+      ASSERT_GT(mu, 0.0) << "c=" << c << " N=" << N;
+      ASSERT_LT(mu, 1.0);
+      const double target = 1.0 / (T * (N + 1));
+      const double lhs = std::exp((1 - mu) * c) * std::pow(mu, c);
+      EXPECT_LT(lhs, target) << "c=" << c << " N=" << N;
+      // Maximality within bisection resolution.
+      const double mu2 = std::min(1.0 - 1e-12, mu + 1e-3);
+      const double lhs2 = std::exp((1 - mu2) * c) * std::pow(mu2, c);
+      EXPECT_GE(lhs2, target * 0.999) << "mu not maximal";
+    }
+  }
+}
+
+TEST(ChooseMu, GrowsWithCapacity) {
+  const double mu_small = choose_mu(2, 12, 38);
+  const double mu_large = choose_mu(50, 12, 38);
+  EXPECT_GT(mu_large, mu_small);
+  EXPECT_GT(mu_large, 0.5);  // ample capacity: nearly no scaling needed
+}
+
+TEST(ChooseMu, ZeroWhenNoCapacity) {
+  EXPECT_DOUBLE_EQ(choose_mu(0, 12, 38), 0.0);
+  EXPECT_DOUBLE_EQ(choose_mu(-1, 12, 38), 0.0);
+}
+
+TEST(ChooseMu, RejectsBadDimensions) {
+  EXPECT_THROW(choose_mu(2, 0, 38), std::invalid_argument);
+  EXPECT_THROW(choose_mu(2, 12, 0), std::invalid_argument);
+}
+
+TEST(ChooseMu, TinyCapacityStillReturnsSomething) {
+  // c so small that mu is microscopic but the math must not blow up.
+  const double mu = choose_mu(0.05, 12, 38);
+  EXPECT_GE(mu, 0.0);
+  EXPECT_LT(mu, 1.0);
+}
+
+}  // namespace
+}  // namespace metis::core

@@ -1,0 +1,224 @@
+// Tests for the pessimistic estimator: the incremental log-space
+// implementation is cross-checked against an independent brute-force
+// recomputation of u_root, and the conditional-probability invariant
+// (min over choices <= current value) is verified along whole walks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "core/estimator.h"
+#include "core/instance.h"
+#include "net/topologies.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace metis::core {
+namespace {
+
+struct Fixture {
+  SpmInstance instance;
+  ChargingPlan caps;
+  std::vector<std::vector<double>> x_hat;  // unscaled fractional solution
+  std::vector<bool> accepted;
+  PessimisticEstimator::Config config;
+};
+
+Fixture make_fixture(std::uint64_t seed, int num_requests) {
+  net::Topology topo = net::make_sub_b4();
+  workload::GeneratorConfig gen_config;
+  const workload::RequestGenerator gen(topo, gen_config);
+  Rng rng(seed);
+  auto requests = gen.generate(num_requests, rng);
+  SpmInstance instance(std::move(topo), std::move(requests), {});
+
+  Fixture f{std::move(instance), {}, {}, {}, {}};
+  f.caps.units.assign(f.instance.num_edges(), 3);
+  f.accepted.assign(f.instance.num_requests(), true);
+  // Random fractional solution with sum <= 1 per request.
+  f.x_hat.resize(f.instance.num_requests());
+  for (int i = 0; i < f.instance.num_requests(); ++i) {
+    f.x_hat[i].assign(f.instance.num_paths(i), 0.0);
+    double remaining = 1.0;
+    for (int j = 0; j < f.instance.num_paths(i); ++j) {
+      const double p = rng.uniform(0, remaining);
+      f.x_hat[i][j] = p;
+      remaining -= p;
+    }
+  }
+  double r_max = 0, v_max = 0;
+  for (const auto& r : f.instance.requests()) {
+    r_max = std::max(r_max, r.rate);
+    v_max = std::max(v_max, r.value);
+  }
+  f.config.mu = 0.6;
+  f.config.tk = std::log(1.0 / f.config.mu);
+  f.config.t0 = 0.4;
+  f.config.i_b = 0.8;
+  f.config.r_max = r_max;
+  f.config.v_max = v_max;
+  return f;
+}
+
+/// Independent slow recomputation of u_root for a partial assignment
+/// (fixed[i] present => request i fixed to that choice).
+double brute_u(const Fixture& f, const std::map<int, int>& fixed) {
+  const SpmInstance& inst = f.instance;
+  // Term set: (e,t) pairs touched by any candidate path of any participant.
+  std::set<std::pair<int, int>> touched;
+  for (int i = 0; i < inst.num_requests(); ++i) {
+    if (!f.accepted[i]) continue;
+    const auto& r = inst.request(i);
+    for (int j = 0; j < inst.num_paths(i); ++j) {
+      for (net::EdgeId e : inst.paths(i)[j].edges) {
+        for (int t = r.start_slot; t <= r.end_slot; ++t) {
+          touched.insert({e, t});
+        }
+      }
+    }
+  }
+  const double mu = f.config.mu;
+  // Revenue term.
+  double u = 0;
+  {
+    double term = std::exp(f.config.t0 * f.config.i_b);
+    for (int i = 0; i < inst.num_requests(); ++i) {
+      if (!f.accepted[i]) continue;
+      const double v = inst.request(i).value / f.config.v_max;
+      const auto it = fixed.find(i);
+      if (it != fixed.end()) {
+        term *= it->second == kDeclined ? 1.0 : std::exp(-f.config.t0 * v);
+      } else {
+        double mass = 0;
+        for (double x : f.x_hat[i]) mass += mu * x;
+        term *= mass * std::exp(-f.config.t0 * v) + 1.0 - mass;
+      }
+    }
+    u += term;
+  }
+  // Capacity terms.
+  for (const auto& [e, t] : touched) {
+    double term = std::exp(-f.config.tk * (f.caps.units[e] / f.config.r_max));
+    for (int i = 0; i < inst.num_requests(); ++i) {
+      if (!f.accepted[i]) continue;
+      const auto& r = inst.request(i);
+      const double rn = r.rate / f.config.r_max;
+      const auto it = fixed.find(i);
+      if (it != fixed.end()) {
+        const int j = it->second;
+        const bool on = j != kDeclined && r.active_at(t) &&
+                        inst.path_uses_edge(i, j, e);
+        term *= on ? std::exp(f.config.tk * rn) : 1.0;
+      } else {
+        double factor = 1.0;
+        for (int j = 0; j < inst.num_paths(i); ++j) {
+          if (r.active_at(t) && inst.path_uses_edge(i, j, e)) {
+            factor += mu * f.x_hat[i][j] * (std::exp(f.config.tk * rn) - 1.0);
+          }
+        }
+        term *= factor;
+      }
+    }
+    u += term;
+  }
+  return u;
+}
+
+TEST(Estimator, InitialValueMatchesBruteForce) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const Fixture f = make_fixture(seed, 8);
+    PessimisticEstimator est(f.instance, f.caps, f.x_hat, f.accepted, f.config);
+    const double expected = brute_u(f, {});
+    EXPECT_NEAR(est.value(), expected, 1e-9 * (1 + expected)) << "seed " << seed;
+  }
+}
+
+TEST(Estimator, CandidateValueMatchesBruteForce) {
+  const Fixture f = make_fixture(7, 6);
+  PessimisticEstimator est(f.instance, f.caps, f.x_hat, f.accepted, f.config);
+  for (int i = 0; i < f.instance.num_requests(); ++i) {
+    for (int j = kDeclined; j < f.instance.num_paths(i); ++j) {
+      const double expected = brute_u(f, {{i, j}});
+      const double got = est.candidate_value(i, j);
+      EXPECT_NEAR(got, expected, 1e-9 * (1 + expected))
+          << "request " << i << " choice " << j;
+    }
+  }
+}
+
+TEST(Estimator, FixUpdatesMatchBruteForceAlongWalk) {
+  const Fixture f = make_fixture(11, 10);
+  PessimisticEstimator est(f.instance, f.caps, f.x_hat, f.accepted, f.config);
+  Rng rng(99);
+  std::map<int, int> fixed;
+  for (int i = 0; i < f.instance.num_requests(); ++i) {
+    const int choice = rng.uniform_int(-1, f.instance.num_paths(i) - 1);
+    // Cross-check the candidate before committing.
+    std::map<int, int> trial = fixed;
+    trial[i] = choice;
+    EXPECT_NEAR(est.candidate_value(i, choice), brute_u(f, trial),
+                1e-8 * (1 + brute_u(f, trial)));
+    est.fix(i, choice);
+    fixed[i] = choice;
+    const double expected = brute_u(f, fixed);
+    EXPECT_NEAR(est.value(), expected, 1e-8 * (1 + expected))
+        << "after fixing request " << i;
+  }
+}
+
+TEST(Estimator, ConditionalProbabilityInvariant) {
+  // The minimum over a request's choices never exceeds the current value:
+  // the current factor is the mu-weighted average of the choice factors.
+  for (std::uint64_t seed : {5u, 6u, 7u, 8u}) {
+    Fixture f = make_fixture(seed, 12);
+    PessimisticEstimator est(f.instance, f.caps, f.x_hat, f.accepted, f.config);
+    for (int i = 0; i < f.instance.num_requests(); ++i) {
+      double best = est.candidate_value(i, kDeclined);
+      int best_choice = kDeclined;
+      for (int j = 0; j < f.instance.num_paths(i); ++j) {
+        const double u = est.candidate_value(i, j);
+        if (u < best) {
+          best = u;
+          best_choice = j;
+        }
+      }
+      EXPECT_LE(best, est.value() + 1e-9 * (1 + est.value()))
+          << "seed " << seed << " request " << i;
+      est.fix(i, best_choice);
+    }
+  }
+}
+
+TEST(Estimator, DoubleFixThrows) {
+  const Fixture f = make_fixture(13, 4);
+  PessimisticEstimator est(f.instance, f.caps, f.x_hat, f.accepted, f.config);
+  est.fix(0, kDeclined);
+  EXPECT_THROW(est.fix(0, 0), std::invalid_argument);
+  EXPECT_THROW(est.candidate_value(0, 0), std::invalid_argument);
+}
+
+TEST(Estimator, RejectsShapeMismatch) {
+  const Fixture f = make_fixture(17, 4);
+  std::vector<std::vector<double>> bad_x = f.x_hat;
+  bad_x.pop_back();
+  EXPECT_THROW(PessimisticEstimator(f.instance, f.caps, bad_x, f.accepted,
+                                    f.config),
+               std::invalid_argument);
+  PessimisticEstimator::Config bad_config = f.config;
+  bad_config.mu = 0;
+  EXPECT_THROW(PessimisticEstimator(f.instance, f.caps, f.x_hat, f.accepted,
+                                    bad_config),
+               std::invalid_argument);
+}
+
+TEST(Estimator, NonParticipantsContributeNothing) {
+  Fixture f = make_fixture(19, 6);
+  // Exclude half the requests; their x_hat content must be irrelevant.
+  for (int i = 0; i < f.instance.num_requests(); i += 2) f.accepted[i] = false;
+  PessimisticEstimator est(f.instance, f.caps, f.x_hat, f.accepted, f.config);
+  EXPECT_NEAR(est.value(), brute_u(f, {}), 1e-9 * (1 + brute_u(f, {})));
+}
+
+}  // namespace
+}  // namespace metis::core

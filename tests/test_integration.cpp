@@ -1,0 +1,129 @@
+// Integration tests: run scaled-down versions of each figure's experiment
+// driver end-to-end and assert the *shape* relations the paper reports
+// (who wins, in which direction).  The full-size runs live in bench/.
+#include <gtest/gtest.h>
+
+#include "sim/experiments.h"
+
+namespace metis::sim {
+namespace {
+
+TEST(Fig3, OrderingOptVsMetisVsAcceptAll) {
+  Fig3Config config;
+  config.sweep.request_counts = {16, 28};
+  config.sweep.seed = 3;
+  config.sweep.repetitions = 2;
+  config.theta = 12;
+  config.mip.max_nodes = 5000;
+  config.mip.time_limit_seconds = 10;
+  const auto rows = run_fig3(config);
+  ASSERT_EQ(rows.size(), 2u);
+  for (const Fig3Row& row : rows) {
+    // OPT(SPM) is warm-started from Metis, so it dominates it even under a
+    // node budget; accept-all can never beat free acceptance.
+    EXPECT_GE(row.opt_spm.breakdown.profit, row.metis.breakdown.profit - 1e-6);
+    EXPECT_GE(row.opt_spm.breakdown.profit,
+              row.opt_rl_spm.breakdown.profit - 1e-6);
+    // OPT(RL-SPM) accepts everything; the profit-seekers may decline.
+    EXPECT_EQ(row.opt_rl_spm.breakdown.accepted, row.num_requests);
+    EXPECT_LE(row.opt_spm.breakdown.accepted, row.num_requests);
+  }
+}
+
+TEST(Fig4a, MaaBeatsMinCostAtScale) {
+  // The LP-sharing advantage of MAA materializes once requests overlap
+  // (the paper's K >= 100 regime); below that the ceiling noise of a single
+  // rounding can win either way.
+  Fig4aConfig config;
+  config.sweep.request_counts = {150};
+  config.sweep.seed = 5;
+  config.sweep.repetitions = 2;
+  config.rounding_trials = 4;
+  const auto rows = run_fig4a(config);
+  ASSERT_EQ(rows.size(), 1u);
+  for (const Fig4aRow& row : rows) {
+    EXPECT_GE(row.maa_cost, row.lp_lower_bound - 1e-6);  // bound is a floor
+    EXPECT_GE(row.mincost_cost, row.lp_lower_bound - 1e-6);
+    EXPECT_GE(row.mincost_over_maa, 1.0 - 1e-9) << "MAA lost to MinCost";
+  }
+}
+
+TEST(Fig4b, RoundingRatioBracketed) {
+  Fig4bConfig config;
+  config.request_counts = {15};
+  config.trials = 200;
+  config.network = Network::SubB4;
+  config.seed = 7;
+  config.mip.time_limit_seconds = 10;
+  const auto rows = run_fig4b(config);
+  ASSERT_EQ(rows.size(), 1u);
+  const Fig4bRow& row = rows[0];
+  EXPECT_EQ(row.trials, 200);
+  EXPECT_GT(row.lp_bound_cost, 0);
+  ASSERT_GT(row.ilp_cost, 0);  // warm start guarantees an incumbent
+  // Rounding can never beat the LP bound, and the LP-referenced ratio
+  // dominates the ILP-referenced one (ILP cost >= LP cost).
+  EXPECT_GE(row.ratio_mean_vs_lp, 1.0 - 1e-6);
+  EXPECT_GE(row.ratio_mean_vs_lp, row.ratio_mean_vs_ilp - 1e-9);
+  EXPECT_GE(row.ratio_max_vs_ilp, row.ratio_mean_vs_ilp - 1e-9);
+  EXPECT_GE(row.ratio_p95_vs_ilp, row.ratio_mean_vs_ilp - 1e-9);
+  if (row.ilp_exact) {
+    // Rounding cannot beat the proven optimum either.
+    EXPECT_GE(row.ratio_mean_vs_ilp, 1.0 - 1e-6);
+  }
+}
+
+TEST(Fig4b, LpOnlyReference) {
+  Fig4bConfig config;
+  config.request_counts = {20};
+  config.trials = 50;
+  config.network = Network::B4;
+  config.ilp_reference = false;
+  const auto rows = run_fig4b(config);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].ilp_cost, 0);
+  EXPECT_GE(rows[0].ratio_mean_vs_lp, 1.0 - 1e-6);
+  // With no ILP the "vs ILP" columns fall back to the LP reference.
+  EXPECT_NEAR(rows[0].ratio_mean_vs_ilp, rows[0].ratio_mean_vs_lp, 1e-9);
+}
+
+TEST(Fig4cd, TaaBeatsAmoebaUnderPressure) {
+  Fig4cdConfig config;
+  config.sweep.request_counts = {120};
+  config.sweep.seed = 11;
+  config.sweep.repetitions = 3;
+  config.uniform_capacity = 2;  // scarce: admission quality matters
+  const auto rows = run_fig4cd(config);
+  ASSERT_EQ(rows.size(), 1u);
+  // TAA's global LP view beats one-by-one single-path admission.
+  EXPECT_GE(rows[0].taa_revenue, rows[0].amoeba_revenue);
+  EXPECT_GE(rows[0].taa_accepted, rows[0].amoeba_accepted * 0.99);
+  EXPECT_LE(rows[0].taa_revenue, rows[0].lp_revenue_bound + 1e-6);
+}
+
+TEST(Fig5, MetisBeatsEcoFlowProfit) {
+  Fig5Config config;
+  config.sweep.request_counts = {150};
+  config.sweep.seed = 13;
+  config.sweep.repetitions = 2;
+  config.theta = 16;
+  const auto rows = run_fig5(config);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_GE(rows[0].metis.breakdown.profit,
+            rows[0].ecoflow.breakdown.profit * 0.95);
+  EXPECT_GE(rows[0].metis.breakdown.accepted,
+            rows[0].ecoflow.breakdown.accepted);
+}
+
+TEST(Drivers, RowsMatchRequestedSweep) {
+  Fig4aConfig config;
+  config.sweep.request_counts = {10, 20, 30};
+  config.sweep.repetitions = 1;
+  const auto rows = run_fig4a(config);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].num_requests, 10);
+  EXPECT_EQ(rows[2].num_requests, 30);
+}
+
+}  // namespace
+}  // namespace metis::sim

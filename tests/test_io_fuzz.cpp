@@ -1,0 +1,143 @@
+// Robustness fuzzing of the text parsers: arbitrary garbage and mutated
+// near-valid inputs must either parse or throw std::runtime_error — never
+// crash, hang, or return a half-built object that violates invariants.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "net/topologies.h"
+#include "net/topology_io.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+#include "workload/workload_io.h"
+
+namespace metis {
+namespace {
+
+std::string random_garbage(Rng& rng, int length) {
+  static const std::string alphabet =
+      "abcdefghijklmnopqrstuvwxyz0123456789 .-#\n\t";
+  std::string out;
+  out.reserve(length);
+  for (int i = 0; i < length; ++i) {
+    out += alphabet[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(alphabet.size()) - 1))];
+  }
+  return out;
+}
+
+/// Applies one random mutation (byte flip, deletion, duplication of a line).
+std::string mutate(const std::string& input, Rng& rng) {
+  if (input.empty()) return input;
+  std::string out = input;
+  switch (rng.uniform_int(0, 2)) {
+    case 0: {  // flip one byte to a random printable char
+      const int pos = rng.uniform_int(0, static_cast<int>(out.size()) - 1);
+      out[pos] = static_cast<char>(rng.uniform_int(32, 126));
+      break;
+    }
+    case 1: {  // delete a random span
+      const int pos = rng.uniform_int(0, static_cast<int>(out.size()) - 1);
+      const int len = rng.uniform_int(1, 10);
+      out.erase(pos, len);
+      break;
+    }
+    default: {  // duplicate a random chunk
+      const int pos = rng.uniform_int(0, static_cast<int>(out.size()) - 1);
+      const int len = rng.uniform_int(1, 20);
+      out.insert(pos, out.substr(pos, len));
+      break;
+    }
+  }
+  return out;
+}
+
+class TopologyFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopologyFuzz, GarbageNeverCrashes) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1299709u + 31);
+  for (int round = 0; round < 50; ++round) {
+    std::stringstream in(random_garbage(rng, rng.uniform_int(0, 200)));
+    try {
+      const net::Topology topo = net::read_topology(in);
+      // If it parsed, the object must be sane.
+      EXPECT_GT(topo.num_nodes(), 0);
+    } catch (const std::runtime_error&) {
+      // expected for malformed input
+    }
+  }
+}
+
+TEST_P(TopologyFuzz, MutatedValidInputNeverCrashes) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104651u + 7);
+  std::stringstream valid;
+  net::write_topology(valid, net::make_b4());
+  const std::string base = valid.str();
+  for (int round = 0; round < 50; ++round) {
+    std::string input = base;
+    const int mutations = rng.uniform_int(1, 5);
+    for (int m = 0; m < mutations; ++m) input = mutate(input, rng);
+    std::stringstream in(input);
+    try {
+      const net::Topology topo = net::read_topology(in);
+      EXPECT_GT(topo.num_nodes(), 0);
+      for (net::EdgeId e = 0; e < topo.num_edges(); ++e) {
+        EXPECT_GE(topo.edge(e).price, 0);
+        EXPECT_TRUE(topo.valid_node(topo.edge(e).src));
+        EXPECT_TRUE(topo.valid_node(topo.edge(e).dst));
+      }
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TopologyFuzz, ::testing::Range(0, 8));
+
+class WorkloadFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkloadFuzz, GarbageNeverCrashes) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 15485863u + 3);
+  for (int round = 0; round < 50; ++round) {
+    std::stringstream in(random_garbage(rng, rng.uniform_int(0, 200)));
+    try {
+      const workload::Workload w = workload::read_workload(in);
+      EXPECT_GT(w.num_slots, 0);
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+TEST_P(WorkloadFuzz, MutatedValidInputNeverCrashes) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 32452843u + 11);
+  const net::Topology topo = net::make_b4();
+  const workload::RequestGenerator gen(topo, {});
+  Rng wl_rng(5);
+  workload::Workload original;
+  original.requests = gen.generate(30, wl_rng);
+  std::stringstream valid;
+  workload::write_workload(valid, original);
+  const std::string base = valid.str();
+  for (int round = 0; round < 50; ++round) {
+    std::string input = base;
+    const int mutations = rng.uniform_int(1, 5);
+    for (int m = 0; m < mutations; ++m) input = mutate(input, rng);
+    std::stringstream in(input);
+    try {
+      const workload::Workload w = workload::read_workload(in);
+      // Parsed requests must respect the invariants the parser promises.
+      for (const auto& r : w.requests) {
+        EXPECT_LE(r.start_slot, r.end_slot);
+        EXPECT_LT(r.end_slot, w.num_slots);
+        EXPECT_GT(r.rate, 0);
+        EXPECT_GE(r.value, 0);
+      }
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WorkloadFuzz, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace metis

@@ -1,0 +1,323 @@
+// Tests for the SPM / RL-SPM / BL-SPM model builders: shapes, solution
+// extraction, and end-to-end sanity of the exact formulations on tiny
+// instances.
+#include <gtest/gtest.h>
+
+#include "core/accounting.h"
+#include "core/instance.h"
+#include "core/lp_builder.h"
+#include "lp/mip.h"
+#include "lp/simplex.h"
+
+namespace metis::core {
+namespace {
+
+net::Topology diamond() {
+  net::Topology topo(4);
+  topo.add_edge(0, 1, 1.0);
+  topo.add_edge(1, 3, 1.0);
+  topo.add_edge(0, 2, 2.0);
+  topo.add_edge(2, 3, 2.0);
+  return topo;
+}
+
+SpmInstance tiny_instance() {
+  std::vector<workload::Request> requests = {
+      {0, 3, 0, 3, 0.6, 5.0},
+      {0, 3, 2, 5, 0.7, 4.0},
+      {1, 3, 1, 1, 0.3, 2.0},
+  };
+  InstanceConfig config;
+  config.num_slots = 6;
+  config.max_paths = 3;
+  return SpmInstance(diamond(), std::move(requests), config);
+}
+
+// --------------------------------------------------------------- shapes ---
+
+TEST(Builder, RlSpmShape) {
+  const SpmInstance instance = tiny_instance();
+  const SpmModel model = build_rl_spm(instance);
+  // x vars: 2 + 2 + 1 paths; c vars: 4 edges.
+  EXPECT_EQ(model.problem.num_variables(), 5 + 4);
+  EXPECT_EQ(static_cast<int>(model.x_columns().size()), 5);
+  EXPECT_EQ(static_cast<int>(model.integer_columns().size()), 9);
+  EXPECT_EQ(model.problem.sense(), lp::Sense::Minimize);
+  // The objective touches only c columns.
+  for (int col : model.x_columns()) {
+    EXPECT_DOUBLE_EQ(model.problem.objective_coef(col), 0.0);
+  }
+  for (net::EdgeId e = 0; e < instance.num_edges(); ++e) {
+    EXPECT_DOUBLE_EQ(model.problem.objective_coef(model.c_var[e]),
+                     instance.topology().edge(e).price);
+  }
+}
+
+TEST(Builder, BlSpmShape) {
+  const SpmInstance instance = tiny_instance();
+  ChargingPlan caps = ChargingPlan::none(instance.num_edges());
+  caps.units.assign(instance.num_edges(), 2);
+  const SpmModel model = build_bl_spm(instance, caps);
+  EXPECT_EQ(model.problem.num_variables(), 5);  // x only
+  EXPECT_TRUE(model.c_var.empty());
+  EXPECT_EQ(model.problem.sense(), lp::Sense::Maximize);
+  // Objective carries the request values.
+  EXPECT_DOUBLE_EQ(model.problem.objective_coef(model.x_var[0][0]), 5.0);
+  EXPECT_DOUBLE_EQ(model.problem.objective_coef(model.x_var[2][0]), 2.0);
+}
+
+TEST(Builder, BlSpmValidatesCapacitySize) {
+  const SpmInstance instance = tiny_instance();
+  EXPECT_THROW(build_bl_spm(instance, ChargingPlan{{1}}), std::invalid_argument);
+}
+
+TEST(Builder, AcceptedMaskExcludesRequests) {
+  const SpmInstance instance = tiny_instance();
+  const std::vector<bool> accepted = {true, false, true};
+  const SpmModel model = build_rl_spm(instance, accepted);
+  EXPECT_EQ(static_cast<int>(model.x_columns().size()), 3);  // 2 + 1 paths
+  EXPECT_EQ(model.x_var[1][0], -1);
+}
+
+TEST(Builder, BadMaskSizeThrows) {
+  const SpmInstance instance = tiny_instance();
+  EXPECT_THROW(build_rl_spm(instance, std::vector<bool>{true}),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------- LP relaxations -----
+
+TEST(Builder, RlSpmRelaxationLowerBoundsCost) {
+  const SpmInstance instance = tiny_instance();
+  const SpmModel model = build_rl_spm(instance);
+  const lp::LpSolution sol = lp::SimplexSolver().solve(model.problem);
+  ASSERT_TRUE(sol.ok());
+  // Cheapest conceivable: all three on price-2 route 0->1->3 needs at least
+  // 1 unit on two edges = 2; LP can be fractional but >= some positive cost.
+  EXPECT_GT(sol.objective, 0.0);
+  EXPECT_LE(sol.objective, 8.0);  // sanity ceiling (expensive route cost)
+  // Assignment rows hold: each accepted request fully routed.
+  for (int i = 0; i < instance.num_requests(); ++i) {
+    double total = 0;
+    for (int j = 0; j < instance.num_paths(i); ++j) {
+      total += sol.x[model.x_var[i][j]];
+    }
+    EXPECT_NEAR(total, 1.0, 1e-6);
+  }
+}
+
+TEST(Builder, BlSpmRelaxationBoundedByTotalValue) {
+  const SpmInstance instance = tiny_instance();
+  ChargingPlan caps;
+  caps.units.assign(instance.num_edges(), 10);
+  const SpmModel model = build_bl_spm(instance, caps);
+  const lp::LpSolution sol = lp::SimplexSolver().solve(model.problem);
+  ASSERT_TRUE(sol.ok());
+  // Ample capacity: everything fits, revenue = total value = 11.
+  EXPECT_NEAR(sol.objective, 11.0, 1e-6);
+}
+
+TEST(Builder, BlSpmZeroCapacityForcesDecline) {
+  const SpmInstance instance = tiny_instance();
+  const ChargingPlan caps = ChargingPlan::none(instance.num_edges());
+  const SpmModel model = build_bl_spm(instance, caps);
+  const lp::LpSolution sol = lp::SimplexSolver().solve(model.problem);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol.objective, 0.0, 1e-6);
+}
+
+// ------------------------------------------------------ exact (B&B) ------
+
+TEST(Builder, SpmIlpFindsProfitablePlan) {
+  const SpmInstance instance = tiny_instance();
+  const SpmModel model = build_spm(instance);
+  const lp::MipResult mip =
+      lp::MipSolver().solve(model.problem, model.integer_columns());
+  ASSERT_TRUE(mip.ok());
+  const Schedule schedule = schedule_from_solution(instance, model, mip.x);
+  const ChargingPlan plan = plan_from_solution(instance, model, mip.x);
+  const ProfitBreakdown pb = evaluate_with_plan(instance, schedule, plan);
+  EXPECT_NEAR(pb.profit, mip.objective, 1e-5);
+  EXPECT_GT(pb.profit, 0.0);
+  // The tiny instance is profitable enough that OPT accepts everything on
+  // the cheap route: revenue 11, cost 2 units x 2 edges x price 1 = 4.
+  EXPECT_NEAR(pb.profit, 7.0, 1e-5);
+}
+
+TEST(Builder, RlSpmIlpCostAtLeastLpBound) {
+  const SpmInstance instance = tiny_instance();
+  const SpmModel model = build_rl_spm(instance);
+  const lp::LpSolution lp_sol = lp::SimplexSolver().solve(model.problem);
+  const lp::MipResult mip =
+      lp::MipSolver().solve(model.problem, model.integer_columns());
+  ASSERT_TRUE(lp_sol.ok());
+  ASSERT_TRUE(mip.ok());
+  EXPECT_GE(mip.objective, lp_sol.objective - 1e-6);
+  const Schedule schedule = schedule_from_solution(instance, model, mip.x);
+  EXPECT_EQ(schedule.num_accepted(), instance.num_requests());
+}
+
+// -------------------------------------------------- solution extraction --
+
+TEST(Builder, ScheduleFromSolutionThreshold) {
+  const SpmInstance instance = tiny_instance();
+  const SpmModel model = build_rl_spm(instance);
+  std::vector<double> x(model.problem.num_variables(), 0.0);
+  x[model.x_var[0][1]] = 1.0;
+  x[model.x_var[2][0]] = 0.9;
+  // request 1 fractional below threshold everywhere -> declined.
+  x[model.x_var[1][0]] = 0.4;
+  x[model.x_var[1][1]] = 0.4;
+  const Schedule schedule = schedule_from_solution(instance, model, x);
+  EXPECT_EQ(schedule.path_choice[0], 1);
+  EXPECT_EQ(schedule.path_choice[1], kDeclined);
+  EXPECT_EQ(schedule.path_choice[2], 0);
+}
+
+TEST(Builder, PlanFromSolutionRoundsC) {
+  const SpmInstance instance = tiny_instance();
+  const SpmModel model = build_rl_spm(instance);
+  std::vector<double> x(model.problem.num_variables(), 0.0);
+  x[model.c_var[0]] = 2.0000001;
+  x[model.c_var[3]] = 0.9999999;
+  const ChargingPlan plan = plan_from_solution(instance, model, x);
+  EXPECT_EQ(plan.units[0], 2);
+  EXPECT_EQ(plan.units[3], 1);
+  EXPECT_EQ(plan.units[1], 0);
+}
+
+TEST(Builder, CostWeightLowersPathCoefficients) {
+  const SpmInstance instance = tiny_instance();
+  ChargingPlan caps;
+  caps.units.assign(instance.num_edges(), 5);
+  BlSpmOptions options;
+  options.cost_weight = 1.0;
+  const SpmModel plain = build_bl_spm(instance, caps);
+  const SpmModel aware = build_bl_spm(instance, caps, {}, options);
+  for (int i = 0; i < instance.num_requests(); ++i) {
+    for (int j = 0; j < instance.num_paths(i); ++j) {
+      const double c_plain = plain.problem.objective_coef(plain.x_var[i][j]);
+      const double c_aware = aware.problem.objective_coef(aware.x_var[i][j]);
+      EXPECT_LT(c_aware, c_plain);  // footprint subtracted
+      // Expensive paths are penalized more than cheap ones.
+    }
+    if (instance.num_paths(i) >= 2) {
+      const double cheap = aware.problem.objective_coef(aware.x_var[i][0]);
+      const double dear = aware.problem.objective_coef(aware.x_var[i][1]);
+      EXPECT_GE(cheap, dear);  // Yen order: path 0 is the cheapest
+    }
+  }
+}
+
+TEST(Builder, CostWeightNegativeThrows) {
+  const SpmInstance instance = tiny_instance();
+  ChargingPlan caps;
+  caps.units.assign(instance.num_edges(), 5);
+  BlSpmOptions bad;
+  bad.cost_weight = -0.5;
+  EXPECT_THROW(build_bl_spm(instance, caps, {}, bad), std::invalid_argument);
+}
+
+TEST(Builder, ColumnsFromDecisionRoundTrips) {
+  const SpmInstance instance = tiny_instance();
+  const SpmModel model = build_spm(instance);
+  Schedule schedule = Schedule::all_declined(instance.num_requests());
+  schedule.path_choice[0] = 1;
+  schedule.path_choice[2] = 0;
+  const std::vector<double> cols = columns_from_decision(instance, model, schedule);
+  // x side: schedule_from_solution inverts it.
+  const Schedule back = schedule_from_solution(instance, model, cols);
+  EXPECT_EQ(back.path_choice, schedule.path_choice);
+  // c side: matches the ceiled loads.
+  const ChargingPlan expected =
+      charging_from_loads(compute_loads(instance, schedule));
+  const ChargingPlan plan = plan_from_solution(instance, model, cols);
+  EXPECT_EQ(plan.units, expected.units);
+  // And the encoded point is feasible for the model.
+  EXPECT_TRUE(model.problem.is_feasible(cols, 1e-9));
+}
+
+TEST(Builder, ColumnsFromDecisionRejectsMaskedRequests) {
+  const SpmInstance instance = tiny_instance();
+  const std::vector<bool> accepted = {true, false, true};
+  const SpmModel model = build_rl_spm(instance, accepted);
+  Schedule schedule = Schedule::all_declined(instance.num_requests());
+  schedule.path_choice[1] = 0;  // request 1 is outside the model
+  EXPECT_THROW(columns_from_decision(instance, model, schedule),
+               std::invalid_argument);
+}
+
+TEST(Builder, CapRowMapsEdgesAndSlots) {
+  const SpmInstance instance = tiny_instance();
+  ChargingPlan caps;
+  caps.units.assign(instance.num_edges(), 2);
+  const SpmModel model = build_bl_spm(instance, caps);
+  ASSERT_EQ(static_cast<int>(model.cap_row.size()), instance.num_edges());
+  int rows_found = 0;
+  for (net::EdgeId e = 0; e < instance.num_edges(); ++e) {
+    ASSERT_EQ(static_cast<int>(model.cap_row[e].size()), instance.num_slots());
+    for (int t = 0; t < instance.num_slots(); ++t) {
+      const int row = model.cap_row[e][t];
+      if (row < 0) continue;
+      ++rows_found;
+      // The mapped row really is the (e, t) capacity constraint: rhs is the
+      // edge capacity and all entries are request rates of slot-t-active
+      // requests whose paths use e.
+      const lp::Row& r = model.problem.row(row);
+      EXPECT_EQ(r.type, lp::RowType::LessEqual);
+      EXPECT_DOUBLE_EQ(r.rhs, 2.0);
+      for (const lp::RowEntry& entry : r.entries) {
+        bool matched = false;
+        for (int i = 0; i < instance.num_requests() && !matched; ++i) {
+          for (int j = 0; j < instance.num_paths(i) && !matched; ++j) {
+            if (model.x_var[i][j] == entry.col) {
+              matched = true;
+              EXPECT_TRUE(instance.request(i).active_at(t));
+              EXPECT_TRUE(instance.path_uses_edge(i, j, e));
+              EXPECT_DOUBLE_EQ(entry.coef, instance.request(i).rate);
+            }
+          }
+        }
+        EXPECT_TRUE(matched) << "row entry not an x column";
+      }
+    }
+  }
+  EXPECT_GT(rows_found, 0);
+}
+
+TEST(Builder, CapacityDualsAreShadowPrices) {
+  // Pin a single bottleneck: one edge, two requests, one unit: the dual of
+  // the binding slot equals the marginal revenue of relaxing it (the value
+  // of the displaced request per unit of its rate).
+  net::Topology topo(2);
+  topo.add_edge(0, 1, 1.0);
+  std::vector<workload::Request> requests = {
+      {0, 1, 0, 0, 1.0, 6.0},
+      {0, 1, 0, 0, 1.0, 2.0},
+  };
+  InstanceConfig config;
+  config.num_slots = 1;
+  const SpmInstance instance(std::move(topo), std::move(requests), config);
+  ChargingPlan caps;
+  caps.units = {1};
+  const SpmModel model = build_bl_spm(instance, caps);
+  const lp::LpSolution sol = lp::SimplexSolver().solve(model.problem);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol.objective, 6.0, 1e-6);  // only the high bid fits
+  const int row = model.cap_row[0][0];
+  ASSERT_GE(row, 0);
+  // One more unit admits the displaced bid worth 2 (its rate is 1).
+  EXPECT_NEAR(std::abs(sol.duals[row]), 2.0, 1e-6);
+}
+
+TEST(Builder, PlanFromSolutionRequiresCVars) {
+  const SpmInstance instance = tiny_instance();
+  ChargingPlan caps;
+  caps.units.assign(instance.num_edges(), 1);
+  const SpmModel model = build_bl_spm(instance, caps);
+  const std::vector<double> x(model.problem.num_variables(), 0.0);
+  EXPECT_THROW(plan_from_solution(instance, model, x), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace metis::core

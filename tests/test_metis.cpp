@@ -1,0 +1,322 @@
+// Tests for the Metis alternation framework: SP-updater semantics, the BW
+// limiter rule, convergence/termination, and monotonicity of the recorded
+// best profit.
+#include <gtest/gtest.h>
+
+#include "core/accounting.h"
+#include "core/maa.h"
+#include "core/metis.h"
+#include "sim/scenario.h"
+#include "sim/validate.h"
+#include "util/rng.h"
+
+namespace metis::core {
+namespace {
+
+SpmInstance instance_for(std::uint64_t seed, int k,
+                         sim::Network net = sim::Network::SubB4) {
+  sim::Scenario s;
+  s.network = net;
+  s.num_requests = k;
+  s.seed = seed;
+  return sim::make_instance(s);
+}
+
+TEST(BwLimiter, TrimsMinUtilizationLink) {
+  const SpmInstance instance = instance_for(1, 30);
+  Rng rng(5);
+  const MaaResult maa = run_maa(instance, rng);
+  ASSERT_TRUE(maa.ok());
+  ChargingPlan plan = maa.plan;
+  const LoadMatrix loads = compute_loads(instance, maa.schedule);
+  // Determine the expected argmin by hand.
+  int expected = -1;
+  double lowest = 0;
+  for (net::EdgeId e = 0; e < instance.num_edges(); ++e) {
+    if (plan.units[e] <= 0) continue;
+    const double util = loads.mean(e) / plan.units[e];
+    if (expected == -1 || util < lowest) {
+      lowest = util;
+      expected = e;
+    }
+  }
+  const int before = plan.units[expected];
+  const int trimmed = trim_min_utilization_link(instance, maa.schedule, plan);
+  EXPECT_EQ(trimmed, expected);
+  EXPECT_EQ(plan.units[expected], before - 1);
+}
+
+TEST(BwLimiter, NoPurchasableLinkReturnsMinusOne) {
+  const SpmInstance instance = instance_for(2, 10);
+  ChargingPlan plan = ChargingPlan::none(instance.num_edges());
+  const Schedule schedule = Schedule::all_declined(instance.num_requests());
+  EXPECT_EQ(trim_min_utilization_link(instance, schedule, plan), -1);
+}
+
+TEST(BwLimiter, TrimFloorsAtZero) {
+  const SpmInstance instance = instance_for(3, 10);
+  Rng rng(5);
+  const MaaResult maa = run_maa(instance, rng);
+  ChargingPlan plan = maa.plan;
+  const int e = trim_min_utilization_link(instance, maa.schedule, plan, 1000);
+  ASSERT_GE(e, 0);
+  EXPECT_EQ(plan.units[e], 0);
+}
+
+TEST(BwLimiter, RejectsNonPositiveUnits) {
+  const SpmInstance instance = instance_for(4, 10);
+  ChargingPlan plan = ChargingPlan::none(instance.num_edges());
+  const Schedule schedule = Schedule::all_declined(instance.num_requests());
+  EXPECT_THROW(trim_min_utilization_link(instance, schedule, plan, 0),
+               std::invalid_argument);
+}
+
+TEST(Pruning, RemovesOnlyValueNegativeRequests) {
+  // Hand-built: two requests on one link; the cheap bid cannot pay for the
+  // second charged unit it forces.
+  net::Topology topo(2);
+  topo.add_edge(0, 1, 2.0);
+  topo.add_edge(1, 0, 2.0);
+  std::vector<workload::Request> requests = {
+      {0, 1, 0, 1, 0.9, 5.0},   // worth its unit
+      {0, 1, 0, 1, 0.9, 0.5},   // forces a 2nd unit (cost 2) for value 0.5
+  };
+  InstanceConfig config;
+  config.num_slots = 2;
+  const SpmInstance instance(std::move(topo), std::move(requests), config);
+  Schedule schedule = Schedule::all_declined(2);
+  schedule.path_choice[0] = 0;
+  schedule.path_choice[1] = 0;
+  const double before = evaluate(instance, schedule).profit;
+  const int pruned = prune_unprofitable(instance, schedule);
+  EXPECT_EQ(pruned, 1);
+  EXPECT_TRUE(schedule.accepted(0));
+  EXPECT_FALSE(schedule.accepted(1));
+  EXPECT_GT(evaluate(instance, schedule).profit, before);
+}
+
+TEST(Pruning, NeverDecreasesProfit) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const SpmInstance instance = instance_for(seed, 50, sim::Network::B4);
+    Rng rng(seed);
+    const MaaResult maa = run_maa(instance, rng);
+    ASSERT_TRUE(maa.ok());
+    Schedule schedule = maa.schedule;
+    const double before = evaluate(instance, schedule).profit;
+    prune_unprofitable(instance, schedule);
+    const double after = evaluate(instance, schedule).profit;
+    EXPECT_GE(after, before - 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(Pruning, FixpointIsStable) {
+  const SpmInstance instance = instance_for(3, 40, sim::Network::B4);
+  Rng rng(3);
+  const MaaResult maa = run_maa(instance, rng);
+  Schedule schedule = maa.schedule;
+  prune_unprofitable(instance, schedule);
+  // A second pass finds nothing more to remove.
+  EXPECT_EQ(prune_unprofitable(instance, schedule), 0);
+}
+
+TEST(Pruning, EmptyScheduleUntouched) {
+  const SpmInstance instance = instance_for(4, 10);
+  Schedule schedule = Schedule::all_declined(instance.num_requests());
+  EXPECT_EQ(prune_unprofitable(instance, schedule), 0);
+}
+
+TEST(Reroute, NeverIncreasesCostAndKeepsAcceptance) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const SpmInstance instance = instance_for(seed, 60, sim::Network::B4);
+    Rng rng(seed);
+    MaaOptions single;
+    single.rounding_trials = 1;
+    const MaaResult maa = run_maa(instance, {}, rng, single);
+    ASSERT_TRUE(maa.ok());
+    Schedule schedule = maa.schedule;
+    const ProfitBreakdown before = evaluate(instance, schedule);
+    reroute_cheaper(instance, schedule);
+    const ProfitBreakdown after = evaluate(instance, schedule);
+    EXPECT_LE(after.cost, before.cost + 1e-9) << "seed " << seed;
+    EXPECT_EQ(after.accepted, before.accepted);
+    EXPECT_DOUBLE_EQ(after.revenue, before.revenue);
+  }
+}
+
+TEST(Reroute, FindsTheObviousMove) {
+  // Two parallel routes; one already charged, the other empty: a request
+  // sitting alone on the empty route should be folded onto the shared one.
+  net::Topology topo(4);
+  topo.add_edge(0, 1, 1.0);
+  topo.add_edge(1, 3, 1.0);
+  topo.add_edge(0, 2, 1.0);
+  topo.add_edge(2, 3, 1.0);
+  std::vector<workload::Request> requests = {
+      {0, 3, 0, 1, 0.4, 3.0},
+      {0, 3, 0, 1, 0.4, 3.0},
+  };
+  InstanceConfig config;
+  config.num_slots = 2;
+  const SpmInstance instance(std::move(topo), std::move(requests), config);
+  ASSERT_EQ(instance.num_paths(0), 2);
+  Schedule schedule = Schedule::all_declined(2);
+  schedule.path_choice[0] = 0;
+  schedule.path_choice[1] = 1;  // needlessly on the second route
+  const double cost_before = evaluate(instance, schedule).cost;
+  const int moves = reroute_cheaper(instance, schedule);
+  EXPECT_GE(moves, 1);
+  EXPECT_EQ(schedule.path_choice[0], schedule.path_choice[1]);
+  EXPECT_LT(evaluate(instance, schedule).cost, cost_before);
+}
+
+TEST(Reroute, FixpointIsStable) {
+  const SpmInstance instance = instance_for(5, 40, sim::Network::B4);
+  Rng rng(5);
+  const MaaResult maa = run_maa(instance, rng);
+  Schedule schedule = maa.schedule;
+  reroute_cheaper(instance, schedule);
+  EXPECT_EQ(reroute_cheaper(instance, schedule), 0);
+}
+
+TEST(Metis, PruneOptionNeverHurts) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const SpmInstance instance = instance_for(seed, 40);
+    MetisOptions with, without;
+    with.prune = true;
+    without.prune = false;
+    Rng a(seed), b(seed);
+    const MetisResult r_with = run_metis(instance, a, with);
+    const MetisResult r_without = run_metis(instance, b, without);
+    EXPECT_GE(r_with.best.profit, r_without.best.profit - 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(Metis, ProfitNeverNegative) {
+  // SP Updater starts from the zero decision, so the best profit can never
+  // fall below 0 regardless of how unprofitable the workload is.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const SpmInstance instance = instance_for(seed, 40);
+    Rng rng(seed);
+    const MetisResult result = run_metis(instance, rng);
+    EXPECT_GE(result.best.profit, 0.0) << "seed " << seed;
+  }
+}
+
+TEST(Metis, OutputsFeasibleDecision) {
+  const SpmInstance instance = instance_for(7, 50);
+  Rng rng(7);
+  const MetisResult result = run_metis(instance, rng);
+  EXPECT_TRUE(sim::check_schedule(instance, result.schedule, result.plan).empty());
+  EXPECT_TRUE(
+      sim::check_plan_covers_schedule(instance, result.schedule, result.plan)
+          .empty());
+}
+
+TEST(Metis, BestMatchesRecordedScheduleAndPlan) {
+  const SpmInstance instance = instance_for(8, 40);
+  Rng rng(8);
+  const MetisResult result = run_metis(instance, rng);
+  const ProfitBreakdown pb =
+      evaluate_with_plan(instance, result.schedule, result.plan);
+  EXPECT_NEAR(pb.profit, result.best.profit, 1e-9);
+  EXPECT_NEAR(pb.revenue, result.best.revenue, 1e-9);
+  EXPECT_NEAR(pb.cost, result.best.cost, 1e-9);
+  EXPECT_EQ(pb.accepted, result.best.accepted);
+}
+
+TEST(Metis, RunsAtMostThetaIterations) {
+  const SpmInstance instance = instance_for(9, 30);
+  for (int theta : {1, 3, 6}) {
+    Rng rng(9);
+    MetisOptions options;
+    options.theta = theta;
+    const MetisResult result = run_metis(instance, rng, options);
+    EXPECT_LE(result.iterations_run, theta);
+    EXPECT_EQ(static_cast<int>(result.history.size()), result.iterations_run);
+  }
+}
+
+TEST(Metis, BestProfitAtLeastFirstMaaPass) {
+  // The first loop records the all-accepted MAA schedule, so the final best
+  // can only improve on it.
+  const SpmInstance instance = instance_for(10, 40);
+  Rng rng_metis(10), rng_maa(10);
+  const MetisResult metis = run_metis(instance, rng_metis);
+  const MaaResult maa = run_maa(instance, rng_maa);
+  ASSERT_TRUE(maa.ok());
+  const double maa_profit =
+      evaluate_with_plan(instance, maa.schedule, maa.plan).profit;
+  EXPECT_GE(metis.best.profit, maa_profit - 1e-9);
+}
+
+TEST(Metis, HistoryRecordsTrimmedEdges) {
+  const SpmInstance instance = instance_for(11, 40);
+  Rng rng(11);
+  MetisOptions options;
+  options.theta = 4;
+  const MetisResult result = run_metis(instance, rng, options);
+  ASSERT_GE(result.iterations_run, 1);
+  for (const MetisIteration& iter : result.history) {
+    // Every completed iteration trimmed a real edge (or stopped the loop).
+    EXPECT_GE(iter.trimmed_edge, -1);
+    EXPECT_LT(iter.trimmed_edge, instance.num_edges());
+  }
+}
+
+TEST(Metis, DeterministicGivenSeed) {
+  const SpmInstance instance = instance_for(12, 35);
+  Rng a(99), b(99);
+  const MetisResult ra = run_metis(instance, a);
+  const MetisResult rb = run_metis(instance, b);
+  EXPECT_EQ(ra.schedule.path_choice, rb.schedule.path_choice);
+  EXPECT_EQ(ra.plan.units, rb.plan.units);
+  EXPECT_DOUBLE_EQ(ra.best.profit, rb.best.profit);
+}
+
+TEST(Metis, RejectsNegativeTheta) {
+  const SpmInstance instance = instance_for(13, 10);
+  Rng rng(1);
+  MetisOptions bad;
+  bad.theta = -1;
+  EXPECT_THROW(run_metis(instance, rng, bad), std::invalid_argument);
+}
+
+TEST(Metis, ConvergenceModeBoundedByK) {
+  const SpmInstance instance = instance_for(13, 20);
+  Rng rng(1);
+  MetisOptions options;
+  options.theta = 0;  // convergence mode
+  const MetisResult result = run_metis(instance, rng, options);
+  EXPECT_LE(result.iterations_run, instance.num_requests());
+  EXPECT_GE(result.iterations_run, 1);
+  EXPECT_GE(result.best.profit, 0);
+  EXPECT_TRUE(sim::check_schedule(instance, result.schedule, result.plan).empty());
+}
+
+TEST(Metis, ConvergenceModeAtLeastAsGoodAsOneLoop) {
+  const SpmInstance instance = instance_for(15, 30);
+  MetisOptions conv, single;
+  conv.theta = 0;
+  single.theta = 1;
+  Rng a(9), b(9);
+  const MetisResult r_conv = run_metis(instance, a, conv);
+  const MetisResult r_single = run_metis(instance, b, single);
+  EXPECT_GE(r_conv.best.profit, r_single.best.profit - 1e-9);
+}
+
+TEST(Metis, MoreThetaNeverHurtsMuch) {
+  // The SP updater keeps the best decision, so larger theta with the same
+  // RNG prefix yields profit >= the shorter run's (same first iterations).
+  const SpmInstance instance = instance_for(14, 40);
+  MetisOptions short_opts, long_opts;
+  short_opts.theta = 2;
+  long_opts.theta = 6;
+  Rng rng_short(7), rng_long(7);
+  const MetisResult r_short = run_metis(instance, rng_short, short_opts);
+  const MetisResult r_long = run_metis(instance, rng_long, long_opts);
+  EXPECT_GE(r_long.best.profit, r_short.best.profit - 1e-9);
+}
+
+}  // namespace
+}  // namespace metis::core

@@ -1,0 +1,328 @@
+// Tests for the network substrate: Topology, path algorithms (Dijkstra, Yen
+// vs a DFS oracle), region pricing and topology I/O.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "net/paths.h"
+#include "net/pricing.h"
+#include "net/topologies.h"
+#include "net/topology.h"
+#include "net/topology_io.h"
+
+namespace metis::net {
+namespace {
+
+Topology diamond() {
+  // 0 -> {1,2} -> 3 with asymmetric prices plus a direct expensive edge.
+  Topology topo(4);
+  topo.add_edge(0, 1, 1.0);
+  topo.add_edge(1, 3, 1.0);
+  topo.add_edge(0, 2, 2.0);
+  topo.add_edge(2, 3, 2.0);
+  topo.add_edge(0, 3, 10.0);
+  return topo;
+}
+
+// ----------------------------------------------------------- Topology ----
+
+TEST(Topology, AddAndFindEdges) {
+  Topology topo(3);
+  const EdgeId e = topo.add_edge(0, 1, 2.5, 4);
+  EXPECT_EQ(topo.num_edges(), 1);
+  EXPECT_EQ(topo.find_edge(0, 1), e);
+  EXPECT_EQ(topo.find_edge(1, 0), -1);
+  EXPECT_DOUBLE_EQ(topo.edge(e).price, 2.5);
+  EXPECT_EQ(topo.edge(e).capacity_units, 4);
+}
+
+TEST(Topology, AddLinkCreatesBothDirections) {
+  Topology topo(2);
+  const EdgeId forward = topo.add_link(0, 1, 3.0);
+  EXPECT_EQ(topo.num_edges(), 2);
+  EXPECT_EQ(topo.find_edge(0, 1), forward);
+  EXPECT_EQ(topo.find_edge(1, 0), forward + 1);
+}
+
+TEST(Topology, RejectsInvalidEdges) {
+  Topology topo(2);
+  EXPECT_THROW(topo.add_edge(0, 0, 1), std::invalid_argument);   // self loop
+  EXPECT_THROW(topo.add_edge(0, 5, 1), std::invalid_argument);   // bad node
+  EXPECT_THROW(topo.add_edge(0, 1, -1), std::invalid_argument);  // price
+  topo.add_edge(0, 1, 1);
+  EXPECT_THROW(topo.add_edge(0, 1, 2), std::invalid_argument);   // parallel
+}
+
+TEST(Topology, RejectsEmptyGraph) {
+  EXPECT_THROW(Topology(0), std::invalid_argument);
+}
+
+TEST(Topology, UniformCapacityAndMinPositive) {
+  Topology topo = diamond();
+  EXPECT_EQ(topo.min_positive_capacity(), 0);
+  topo.set_uniform_capacity(7);
+  EXPECT_EQ(topo.min_positive_capacity(), 7);
+  topo.set_capacity(0, 3);
+  EXPECT_EQ(topo.min_positive_capacity(), 3);
+  topo.set_capacity(0, 0);
+  EXPECT_EQ(topo.min_positive_capacity(), 7);
+}
+
+// ----------------------------------------------------------- Dijkstra ----
+
+TEST(ShortestPath, PicksCheapestRoute) {
+  const Topology topo = diamond();
+  const auto path = shortest_path(topo, 0, 3);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->hops(), 2u);
+  EXPECT_DOUBLE_EQ(path_weight(topo, *path, PathMetric::Price), 2.0);
+  EXPECT_TRUE(is_simple_path(topo, *path, 0, 3));
+}
+
+TEST(ShortestPath, HopMetricPrefersDirectEdge) {
+  const Topology topo = diamond();
+  const auto path = shortest_path(topo, 0, 3, PathMetric::Hops);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->hops(), 1u);
+}
+
+TEST(ShortestPath, UnreachableReturnsNullopt) {
+  Topology topo(3);
+  topo.add_edge(0, 1, 1);
+  EXPECT_FALSE(shortest_path(topo, 0, 2).has_value());
+  EXPECT_FALSE(shortest_path(topo, 2, 0).has_value());
+}
+
+TEST(ShortestPath, DirectednessRespected) {
+  Topology topo(2);
+  topo.add_edge(0, 1, 1);
+  EXPECT_TRUE(shortest_path(topo, 0, 1).has_value());
+  EXPECT_FALSE(shortest_path(topo, 1, 0).has_value());
+}
+
+TEST(ShortestPath, SameNodeIsNullopt) {
+  const Topology topo = diamond();
+  EXPECT_FALSE(shortest_path(topo, 1, 1).has_value());
+}
+
+TEST(ShortestPath, ForbiddenEdgeForcesDetour) {
+  const Topology topo = diamond();
+  std::vector<bool> forbidden_edges(topo.num_edges(), false);
+  forbidden_edges[topo.find_edge(0, 1)] = true;
+  const auto path = shortest_path(topo, 0, 3, PathMetric::Price, nullptr,
+                                  &forbidden_edges);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_DOUBLE_EQ(path_weight(topo, *path, PathMetric::Price), 4.0);
+}
+
+// ---------------------------------------------------------------- Yen ----
+
+TEST(KShortest, OrderedAndSimple) {
+  const Topology topo = diamond();
+  const auto paths = k_shortest_paths(topo, 0, 3, 5);
+  ASSERT_EQ(paths.size(), 3u);  // only 3 simple paths exist
+  double prev = 0;
+  for (const Path& p : paths) {
+    EXPECT_TRUE(is_simple_path(topo, p, 0, 3));
+    const double w = path_weight(topo, p, PathMetric::Price);
+    EXPECT_GE(w, prev);
+    prev = w;
+  }
+  EXPECT_DOUBLE_EQ(path_weight(topo, paths[0], PathMetric::Price), 2.0);
+  EXPECT_DOUBLE_EQ(path_weight(topo, paths[1], PathMetric::Price), 4.0);
+  EXPECT_DOUBLE_EQ(path_weight(topo, paths[2], PathMetric::Price), 10.0);
+}
+
+TEST(KShortest, DistinctPaths) {
+  const Topology topo = make_b4();
+  const auto paths = k_shortest_paths(topo, 0, 11, 6);
+  for (std::size_t a = 0; a < paths.size(); ++a) {
+    for (std::size_t b = a + 1; b < paths.size(); ++b) {
+      EXPECT_NE(paths[a].edges, paths[b].edges);
+    }
+  }
+}
+
+TEST(KShortest, ZeroOrNegativeKEmpty) {
+  const Topology topo = diamond();
+  EXPECT_TRUE(k_shortest_paths(topo, 0, 3, 0).empty());
+  EXPECT_TRUE(k_shortest_paths(topo, 0, 3, -2).empty());
+}
+
+TEST(KShortest, DisconnectedEmpty) {
+  Topology topo(3);
+  topo.add_edge(0, 1, 1);
+  EXPECT_TRUE(k_shortest_paths(topo, 0, 2, 3).empty());
+}
+
+/// Oracle comparison: Yen's top-k must match the k cheapest paths from the
+/// exhaustive DFS enumeration, parameterized over B4 node pairs.
+class YenVsDfs : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(YenVsDfs, MatchesExhaustiveEnumeration) {
+  const Topology topo = make_b4();
+  const auto [src, dst] = GetParam();
+  constexpr int kK = 4;
+  auto oracle = all_simple_paths(topo, src, dst, topo.num_nodes());
+  std::sort(oracle.begin(), oracle.end(), [&](const Path& a, const Path& b) {
+    const double wa = path_weight(topo, a, PathMetric::Price);
+    const double wb = path_weight(topo, b, PathMetric::Price);
+    if (wa != wb) return wa < wb;
+    return a.edges < b.edges;
+  });
+  const auto yen = k_shortest_paths(topo, src, dst, kK);
+  ASSERT_EQ(yen.size(), std::min<std::size_t>(kK, oracle.size()));
+  // Weights must agree position by position (paths may tie and differ).
+  for (std::size_t i = 0; i < yen.size(); ++i) {
+    EXPECT_NEAR(path_weight(topo, yen[i], PathMetric::Price),
+                path_weight(topo, oracle[i], PathMetric::Price), 1e-9)
+        << "pair (" << src << "," << dst << ") position " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    B4Pairs, YenVsDfs,
+    ::testing::Values(std::make_pair(0, 11), std::make_pair(0, 5),
+                      std::make_pair(3, 9), std::make_pair(11, 0),
+                      std::make_pair(6, 10), std::make_pair(2, 7),
+                      std::make_pair(5, 8), std::make_pair(10, 1)));
+
+// ------------------------------------------------------------ pricing ----
+
+TEST(Pricing, RelativeOrderMatchesCloudflare) {
+  EXPECT_LT(relative_price(Region::Europe), relative_price(Region::Asia));
+  EXPECT_LT(relative_price(Region::Asia), relative_price(Region::SouthAmerica));
+  EXPECT_LT(relative_price(Region::SouthAmerica), relative_price(Region::Oceania));
+  EXPECT_DOUBLE_EQ(relative_price(Region::NorthAmerica), 1.0);
+}
+
+TEST(Pricing, LinkPriceIsMeanOfEndpoints) {
+  EXPECT_DOUBLE_EQ(link_price(Region::NorthAmerica, Region::Asia),
+                   (1.0 + 6.5) / 2);
+  EXPECT_DOUBLE_EQ(link_price(Region::Asia, Region::NorthAmerica),
+                   link_price(Region::NorthAmerica, Region::Asia));
+}
+
+TEST(Pricing, ApplyRegionPricingValidatesSize) {
+  Topology topo(3);
+  topo.add_link(0, 1, 1);
+  const std::vector<Region> wrong = {Region::Asia};
+  EXPECT_THROW(apply_region_pricing(topo, wrong), std::invalid_argument);
+}
+
+// --------------------------------------------------- reference graphs ----
+
+TEST(Topologies, B4Shape) {
+  const Topology topo = make_b4();
+  EXPECT_EQ(topo.num_nodes(), 12);
+  EXPECT_EQ(topo.num_edges(), 38);  // 19 bidirectional links
+  // Every ordered pair of nodes is connected.
+  for (NodeId s = 0; s < 12; ++s) {
+    for (NodeId d = 0; d < 12; ++d) {
+      if (s == d) continue;
+      EXPECT_TRUE(shortest_path(topo, s, d).has_value()) << s << " -> " << d;
+    }
+  }
+}
+
+TEST(Topologies, B4AsiaLinksCostMore) {
+  const Topology topo = make_b4();
+  const EdgeId na = topo.find_edge(0, 1);     // NA-NA
+  const EdgeId asia = topo.find_edge(9, 11);  // Asia-Asia
+  ASSERT_NE(na, -1);
+  ASSERT_NE(asia, -1);
+  EXPECT_GT(topo.edge(asia).price, topo.edge(na).price);
+}
+
+TEST(Topologies, SubB4Shape) {
+  const Topology topo = make_sub_b4();
+  EXPECT_EQ(topo.num_nodes(), 6);
+  EXPECT_EQ(topo.num_edges(), 14);  // 7 bidirectional links
+  for (NodeId s = 0; s < 6; ++s) {
+    for (NodeId d = 0; d < 6; ++d) {
+      if (s == d) continue;
+      EXPECT_TRUE(shortest_path(topo, s, d).has_value());
+    }
+  }
+}
+
+TEST(Topologies, Internet2Shape) {
+  const Topology topo = make_internet2();
+  EXPECT_EQ(topo.num_nodes(), 11);
+  EXPECT_EQ(topo.num_edges(), 28);  // 14 bidirectional links
+  EXPECT_EQ(internet2_cities().size(), 11u);
+  for (NodeId s = 0; s < topo.num_nodes(); ++s) {
+    for (NodeId d = 0; d < topo.num_nodes(); ++d) {
+      if (s == d) continue;
+      EXPECT_TRUE(shortest_path(topo, s, d).has_value())
+          << internet2_cities()[s] << " -> " << internet2_cities()[d];
+    }
+  }
+}
+
+TEST(Topologies, Internet2KnownRoutes) {
+  const Topology topo = make_internet2();
+  // Seattle -> New York: the northern route is 4 hops
+  // (SEA-DEN-KC-IND... no: SEA(0)-DEN(3)-KC(4)-IND(7)-CHI(6)-NYC(10) = 5, or
+  // via Atlanta/Washington = 6).  Assert the hop-count optimum is 5.
+  const auto path = shortest_path(topo, 0, 10, PathMetric::Hops);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->hops(), 5u);
+}
+
+TEST(Topologies, SubB4HasPathDiversity) {
+  // At least two distinct routes must exist between some pairs, otherwise
+  // path selection is degenerate.
+  const Topology topo = make_sub_b4();
+  EXPECT_GE(k_shortest_paths(topo, 0, 5, 3).size(), 2u);
+  EXPECT_GE(k_shortest_paths(topo, 1, 4, 3).size(), 2u);
+}
+
+// --------------------------------------------------------------- I/O -----
+
+TEST(TopologyIo, RoundTrip) {
+  const Topology original = make_b4();
+  std::stringstream buffer;
+  write_topology(buffer, original);
+  const Topology parsed = read_topology(buffer);
+  ASSERT_EQ(parsed.num_nodes(), original.num_nodes());
+  ASSERT_EQ(parsed.num_edges(), original.num_edges());
+  for (EdgeId e = 0; e < original.num_edges(); ++e) {
+    EXPECT_EQ(parsed.edge(e).src, original.edge(e).src);
+    EXPECT_EQ(parsed.edge(e).dst, original.edge(e).dst);
+    EXPECT_DOUBLE_EQ(parsed.edge(e).price, original.edge(e).price);
+    EXPECT_EQ(parsed.edge(e).capacity_units, original.edge(e).capacity_units);
+  }
+}
+
+TEST(TopologyIo, ParsesLinkShorthandAndComments) {
+  std::stringstream in(
+      "# a WAN\n"
+      "nodes 3\n"
+      "link 0 1 2.5 4  # bidirectional\n"
+      "edge 1 2 1.0\n");
+  const Topology topo = read_topology(in);
+  EXPECT_EQ(topo.num_edges(), 3);
+  EXPECT_EQ(topo.find_edge(1, 0), 1);
+  EXPECT_EQ(topo.edge(0).capacity_units, 4);
+}
+
+TEST(TopologyIo, ErrorsCarryLineNumbers) {
+  std::stringstream missing_nodes("edge 0 1 1\n");
+  EXPECT_THROW(read_topology(missing_nodes), std::runtime_error);
+  std::stringstream bad_keyword("nodes 2\nfrobnicate\n");
+  try {
+    read_topology(bad_keyword);
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TopologyIo, MissingFileThrows) {
+  EXPECT_THROW(read_topology_file("/nonexistent/net.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace metis::net

@@ -1,0 +1,127 @@
+// End-to-end oracle: on tiny instances, enumerate EVERY possible decision
+// (all (L_i + 1)^K acceptance/routing combinations), evaluate each with the
+// accounting module, and check that
+//   * run_opt_spm finds exactly the maximum profit,
+//   * run_opt_rl_spm finds exactly the minimum accept-all cost,
+//   * Metis and every baseline never exceed the true optimum and always
+//     produce feasible decisions.
+// This closes the loop between the ILP formulations, the branch & bound
+// solver, the accounting code and the heuristics — if any of them drifts,
+// the exhaustive truth catches it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/ecoflow.h"
+#include "baselines/mincost.h"
+#include "baselines/opt.h"
+#include "core/accounting.h"
+#include "core/metis.h"
+#include "sim/scenario.h"
+#include "util/rng.h"
+
+namespace metis {
+namespace {
+
+struct Truth {
+  double best_profit = 0;           // over all decisions (declining allowed)
+  double best_accept_all_cost = 0;  // over all-accepted routings
+  core::Schedule best_schedule;
+};
+
+/// Exhaustive enumeration of all (L_i + 1)^K schedules.
+Truth enumerate(const core::SpmInstance& instance) {
+  Truth truth;
+  truth.best_profit = 0;  // declining everything is always available
+  truth.best_accept_all_cost = lp::kInfinity;
+  const int k = instance.num_requests();
+  core::Schedule schedule = core::Schedule::all_declined(k);
+  truth.best_schedule = schedule;
+
+  // Odometer over choices in [-1, L_i).
+  std::vector<int> choice(k, -1);
+  while (true) {
+    for (int i = 0; i < k; ++i) schedule.path_choice[i] = choice[i];
+    const core::ProfitBreakdown pb = core::evaluate(instance, schedule);
+    if (pb.profit > truth.best_profit) {
+      truth.best_profit = pb.profit;
+      truth.best_schedule = schedule;
+    }
+    if (pb.accepted == k && pb.cost < truth.best_accept_all_cost) {
+      truth.best_accept_all_cost = pb.cost;
+    }
+    // Increment the odometer.
+    int pos = 0;
+    while (pos < k) {
+      if (++choice[pos] < instance.num_paths(pos)) break;
+      choice[pos] = -1;
+      ++pos;
+    }
+    if (pos == k) break;
+  }
+  return truth;
+}
+
+core::SpmInstance tiny_instance(std::uint64_t seed, int k) {
+  sim::Scenario scenario;
+  scenario.network = sim::Network::SubB4;
+  scenario.num_requests = k;
+  scenario.seed = seed;
+  scenario.instance.max_paths = 3;
+  return sim::make_instance(scenario);
+}
+
+class OptOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptOracle, BranchAndBoundMatchesExhaustiveTruth) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const core::SpmInstance instance = tiny_instance(seed, 6);
+  const Truth truth = enumerate(instance);
+
+  const baselines::OptResult opt = baselines::run_opt_spm(instance);
+  ASSERT_TRUE(opt.exact) << "seed " << seed;
+  EXPECT_NEAR(opt.breakdown.profit, truth.best_profit, 1e-6) << "seed " << seed;
+
+  const baselines::OptResult rl = baselines::run_opt_rl_spm(instance);
+  ASSERT_TRUE(rl.exact) << "seed " << seed;
+  EXPECT_NEAR(rl.breakdown.cost, truth.best_accept_all_cost, 1e-6)
+      << "seed " << seed;
+}
+
+TEST_P(OptOracle, HeuristicsNeverBeatTheTruth) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const core::SpmInstance instance = tiny_instance(seed, 6);
+  const Truth truth = enumerate(instance);
+
+  Rng rng(seed * 7 + 1);
+  const core::MetisResult metis = core::run_metis(instance, rng);
+  EXPECT_LE(metis.best.profit, truth.best_profit + 1e-6) << "seed " << seed;
+  EXPECT_GE(metis.best.profit, -1e-9);
+
+  const baselines::EcoFlowResult eco = baselines::run_ecoflow(instance);
+  EXPECT_LE(eco.profit, truth.best_profit + 1e-6) << "seed " << seed;
+
+  const baselines::MinCostResult mc = baselines::run_mincost(instance);
+  EXPECT_GE(mc.cost, truth.best_accept_all_cost - 1e-6) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OptOracle, ::testing::Range(1, 11));
+
+TEST(OptOracle, MetisCloseToTruthOnAverage) {
+  // Aggregate quality check: over several tiny instances Metis recovers a
+  // large fraction of the optimal profit (the paper reports ~89% of OPT).
+  double metis_total = 0, truth_total = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const core::SpmInstance instance = tiny_instance(seed, 6);
+    const Truth truth = enumerate(instance);
+    Rng rng(seed);
+    const core::MetisResult metis = core::run_metis(instance, rng);
+    metis_total += metis.best.profit;
+    truth_total += truth.best_profit;
+  }
+  ASSERT_GT(truth_total, 0);
+  EXPECT_GT(metis_total / truth_total, 0.75);
+}
+
+}  // namespace
+}  // namespace metis

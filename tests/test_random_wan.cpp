@@ -1,0 +1,142 @@
+// Tests for the Waxman random WAN generator, plus cross-module property
+// sweeps: the core algorithms must stay correct on arbitrary strongly
+// connected topologies, not just B4.
+#include <gtest/gtest.h>
+
+#include "core/maa.h"
+#include "core/metis.h"
+#include "core/taa.h"
+#include "net/paths.h"
+#include "net/random_wan.h"
+#include "sim/validate.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace metis::net {
+namespace {
+
+TEST(RandomWan, StronglyConnected) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    RandomWanConfig config;
+    config.num_nodes = 9;
+    const Topology topo = random_wan(config, rng);
+    for (NodeId a = 0; a < topo.num_nodes(); ++a) {
+      for (NodeId b = 0; b < topo.num_nodes(); ++b) {
+        if (a == b) continue;
+        EXPECT_TRUE(shortest_path(topo, a, b).has_value())
+            << "seed " << seed << ": " << a << " -> " << b;
+      }
+    }
+  }
+}
+
+TEST(RandomWan, BidirectionalAndPricedWithinRange) {
+  Rng rng(3);
+  RandomWanConfig config;
+  config.num_nodes = 12;
+  config.min_price = 2.0;
+  config.max_price = 5.0;
+  const Topology topo = random_wan(config, rng);
+  EXPECT_EQ(topo.num_edges() % 2, 0);  // links come in pairs
+  for (EdgeId e = 0; e < topo.num_edges(); ++e) {
+    const Edge& edge = topo.edge(e);
+    EXPECT_NE(topo.find_edge(edge.dst, edge.src), -1);
+    EXPECT_GE(edge.price, config.min_price);
+    EXPECT_LE(edge.price, config.max_price);
+  }
+}
+
+TEST(RandomWan, DeterministicInRngState) {
+  RandomWanConfig config;
+  config.num_nodes = 8;
+  Rng a(7), b(7);
+  const Topology ta = random_wan(config, a);
+  const Topology tb = random_wan(config, b);
+  ASSERT_EQ(ta.num_edges(), tb.num_edges());
+  for (EdgeId e = 0; e < ta.num_edges(); ++e) {
+    EXPECT_EQ(ta.edge(e).src, tb.edge(e).src);
+    EXPECT_EQ(ta.edge(e).dst, tb.edge(e).dst);
+    EXPECT_DOUBLE_EQ(ta.edge(e).price, tb.edge(e).price);
+  }
+}
+
+TEST(RandomWan, DensityGrowsWithBeta) {
+  RandomWanConfig sparse, dense;
+  sparse.num_nodes = dense.num_nodes = 14;
+  sparse.beta = 0.15;
+  dense.beta = 0.95;
+  int sparse_edges = 0, dense_edges = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng r1(seed), r2(seed);
+    sparse_edges += random_wan(sparse, r1).num_edges();
+    dense_edges += random_wan(dense, r2).num_edges();
+  }
+  EXPECT_GT(dense_edges, sparse_edges);
+}
+
+TEST(RandomWan, RejectsBadConfig) {
+  Rng rng(1);
+  RandomWanConfig bad;
+  bad.num_nodes = 1;
+  EXPECT_THROW(random_wan(bad, rng), std::invalid_argument);
+  bad = {};
+  bad.beta = 0;
+  EXPECT_THROW(random_wan(bad, rng), std::invalid_argument);
+  bad = {};
+  bad.beta = 1.5;
+  EXPECT_THROW(random_wan(bad, rng), std::invalid_argument);
+  bad = {};
+  bad.min_price = 3;
+  bad.max_price = 2;
+  EXPECT_THROW(random_wan(bad, rng), std::invalid_argument);
+}
+
+// ------------------------ algorithms on random topologies ----------------
+
+class AlgorithmsOnRandomWans : public ::testing::TestWithParam<int> {
+ protected:
+  core::SpmInstance make(std::uint64_t seed) const {
+    Rng rng(seed);
+    RandomWanConfig config;
+    config.num_nodes = 8;
+    Topology topo = random_wan(config, rng);
+    const workload::RequestGenerator gen(topo, {});
+    auto requests = gen.generate(40, rng);
+    return core::SpmInstance(std::move(topo), std::move(requests), {});
+  }
+};
+
+TEST_P(AlgorithmsOnRandomWans, MaaFeasibleAndBounded) {
+  const core::SpmInstance instance = make(GetParam());
+  Rng rng(GetParam() * 17 + 3);
+  const core::MaaResult maa = core::run_maa(instance, rng);
+  ASSERT_TRUE(maa.ok());
+  EXPECT_TRUE(sim::check_plan_covers_schedule(instance, maa.schedule, maa.plan)
+                  .empty());
+  EXPECT_GE(maa.cost, maa.lp_cost - 1e-6);
+}
+
+TEST_P(AlgorithmsOnRandomWans, TaaFeasibleUnderTightCaps) {
+  const core::SpmInstance instance = make(GetParam());
+  core::ChargingPlan caps;
+  caps.units.assign(instance.num_edges(), 2);
+  const core::TaaResult taa = core::run_taa(instance, caps);
+  ASSERT_TRUE(taa.ok());
+  EXPECT_TRUE(sim::check_schedule(instance, taa.schedule, caps).empty());
+  EXPECT_LE(taa.revenue, taa.lp_revenue + 1e-6);
+}
+
+TEST_P(AlgorithmsOnRandomWans, MetisFeasibleAndNonNegative) {
+  const core::SpmInstance instance = make(GetParam());
+  Rng rng(GetParam() * 23 + 5);
+  const core::MetisResult metis = core::run_metis(instance, rng);
+  EXPECT_GE(metis.best.profit, 0);
+  EXPECT_TRUE(
+      sim::check_schedule(instance, metis.schedule, metis.plan).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AlgorithmsOnRandomWans, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace metis::net

@@ -1,0 +1,175 @@
+// Tests for the simulation harness: validators, metrics and scenarios.
+#include <gtest/gtest.h>
+
+#include "core/accounting.h"
+#include "sim/metrics.h"
+#include "sim/scenario.h"
+#include "sim/validate.h"
+
+namespace metis::sim {
+namespace {
+
+core::SpmInstance tiny() {
+  net::Topology topo(3);
+  topo.add_link(0, 1, 1.0);
+  topo.add_link(1, 2, 1.0);
+  std::vector<workload::Request> requests = {
+      {0, 2, 0, 1, 0.8, 3.0},
+      {0, 2, 0, 1, 0.8, 3.0},
+  };
+  core::InstanceConfig config;
+  config.num_slots = 4;
+  return core::SpmInstance(std::move(topo), std::move(requests), config);
+}
+
+// ----------------------------------------------------------- validate ----
+
+TEST(Validate, AcceptsFeasibleSchedule) {
+  const core::SpmInstance instance = tiny();
+  core::Schedule s = core::Schedule::all_declined(2);
+  s.path_choice[0] = 0;
+  core::ChargingPlan caps;
+  caps.units.assign(instance.num_edges(), 1);
+  EXPECT_TRUE(check_schedule(instance, s, caps).empty());
+}
+
+TEST(Validate, DetectsCapacityViolation) {
+  const core::SpmInstance instance = tiny();
+  core::Schedule s = core::Schedule::all_declined(2);
+  s.path_choice[0] = 0;
+  s.path_choice[1] = 0;  // combined load 1.6 > 1 unit
+  core::ChargingPlan caps;
+  caps.units.assign(instance.num_edges(), 1);
+  const auto violations = check_schedule(instance, s, caps);
+  EXPECT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().find("exceeds capacity"), std::string::npos);
+}
+
+TEST(Validate, DetectsShapeProblems) {
+  const core::SpmInstance instance = tiny();
+  core::ChargingPlan caps;
+  caps.units.assign(instance.num_edges(), 1);
+  EXPECT_FALSE(check_schedule(instance, core::Schedule::all_declined(5), caps)
+                   .empty());
+  core::Schedule s = core::Schedule::all_declined(2);
+  s.path_choice[0] = 99;
+  EXPECT_FALSE(check_schedule(instance, s, caps).empty());
+  EXPECT_FALSE(
+      check_schedule(instance, core::Schedule::all_declined(2),
+                     core::ChargingPlan{{1}})
+          .empty());
+}
+
+TEST(Validate, PlanCoverageChecked) {
+  const core::SpmInstance instance = tiny();
+  core::Schedule s = core::Schedule::all_declined(2);
+  s.path_choice[0] = 0;
+  core::ChargingPlan plan = core::ChargingPlan::none(instance.num_edges());
+  const auto violations = check_plan_covers_schedule(instance, s, plan);
+  EXPECT_FALSE(violations.empty());  // bought nothing but scheduled a flow
+  plan.units.assign(instance.num_edges(), 1);
+  EXPECT_TRUE(check_plan_covers_schedule(instance, s, plan).empty());
+}
+
+// ------------------------------------------------------------ metrics ----
+
+TEST(Metrics, MeasureAgreesWithAccounting) {
+  const core::SpmInstance instance = tiny();
+  core::Schedule s = core::Schedule::all_declined(2);
+  s.path_choice[0] = 0;
+  const SolutionMetrics m = measure(instance, s);
+  const core::ProfitBreakdown pb = core::evaluate(instance, s);
+  EXPECT_DOUBLE_EQ(m.breakdown.profit, pb.profit);
+  EXPECT_DOUBLE_EQ(m.breakdown.revenue, 3.0);
+  EXPECT_EQ(m.breakdown.accepted, 1);
+  EXPECT_GT(m.utilization.mean, 0);
+}
+
+// ----------------------------------------------------------- scenario ----
+
+TEST(Scenario, NetworksMatchReferenceShapes) {
+  Scenario b4;
+  b4.network = Network::B4;
+  EXPECT_EQ(make_network(b4).num_nodes(), 12);
+  Scenario sub;
+  sub.network = Network::SubB4;
+  EXPECT_EQ(make_network(sub).num_nodes(), 6);
+  EXPECT_EQ(to_string(Network::B4), "B4");
+  EXPECT_EQ(to_string(Network::SubB4), "SUB-B4");
+}
+
+TEST(Scenario, UniformCapacityApplied) {
+  Scenario s;
+  s.uniform_capacity = 10;
+  const net::Topology topo = make_network(s);
+  for (net::EdgeId e = 0; e < topo.num_edges(); ++e) {
+    EXPECT_EQ(topo.edge(e).capacity_units, 10);
+  }
+}
+
+TEST(Scenario, InstanceIsDeterministic) {
+  Scenario s;
+  s.network = Network::SubB4;
+  s.num_requests = 30;
+  s.seed = 77;
+  const core::SpmInstance a = make_instance(s);
+  const core::SpmInstance b = make_instance(s);
+  ASSERT_EQ(a.num_requests(), b.num_requests());
+  for (int i = 0; i < a.num_requests(); ++i) {
+    EXPECT_EQ(a.request(i), b.request(i));
+  }
+}
+
+TEST(Scenario, SeedChangesWorkload) {
+  Scenario s;
+  s.num_requests = 30;
+  s.seed = 1;
+  const core::SpmInstance a = make_instance(s);
+  s.seed = 2;
+  const core::SpmInstance b = make_instance(s);
+  bool any_diff = false;
+  for (int i = 0; i < a.num_requests() && !any_diff; ++i) {
+    any_diff = !(a.request(i) == b.request(i));
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Scenario, RequestedCountHonored) {
+  Scenario s;
+  s.num_requests = 123;
+  EXPECT_EQ(make_instance(s).num_requests(), 123);
+}
+
+TEST(Scenario, PoissonArrivalsVaryAroundTarget) {
+  Scenario s;
+  s.num_requests = 120;
+  s.poisson_arrivals = true;
+  double total = 0;
+  int distinct = 0;
+  int prev = -1;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    s.seed = seed;
+    const int n = make_instance(s).num_requests();
+    total += n;
+    if (n != prev) ++distinct;
+    prev = n;
+  }
+  EXPECT_NEAR(total / 20.0, 120.0, 12.0);  // mean near the target
+  EXPECT_GT(distinct, 5);                  // counts actually fluctuate
+}
+
+TEST(Scenario, PoissonDeterministicPerSeed) {
+  Scenario s;
+  s.num_requests = 60;
+  s.poisson_arrivals = true;
+  s.seed = 9;
+  const core::SpmInstance a = make_instance(s);
+  const core::SpmInstance b = make_instance(s);
+  ASSERT_EQ(a.num_requests(), b.num_requests());
+  for (int i = 0; i < a.num_requests(); ++i) {
+    EXPECT_EQ(a.request(i), b.request(i));
+  }
+}
+
+}  // namespace
+}  // namespace metis::sim

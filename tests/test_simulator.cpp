@@ -1,0 +1,148 @@
+// Tests for the policy interface and the multi-cycle billing simulator.
+#include <gtest/gtest.h>
+
+#include "core/accounting.h"
+#include "sim/policy.h"
+#include "sim/simulator.h"
+#include "sim/validate.h"
+
+namespace metis::sim {
+namespace {
+
+SimulationConfig small_config() {
+  SimulationConfig config;
+  config.base.network = Network::SubB4;
+  config.base.num_requests = 25;
+  config.base.seed = 5;
+  config.cycles = 3;
+  config.demand_growth = 0.2;
+  return config;
+}
+
+// -------------------------------------------------------------- policy ----
+
+TEST(Policy, StandardSetNamesAndOrder) {
+  const auto policies = standard_policies();
+  ASSERT_EQ(policies.size(), 3u);
+  EXPECT_EQ(policies[0]->name(), "accept-all");
+  EXPECT_EQ(policies[1]->name(), "EcoFlow");
+  EXPECT_EQ(policies[2]->name(), "Metis");
+}
+
+TEST(Policy, EachProducesFeasibleDecision) {
+  const BillingCycleSimulator simulator(small_config());
+  const core::SpmInstance instance = simulator.cycle_instance(0);
+  std::vector<std::unique_ptr<Policy>> policies = standard_policies();
+  policies.push_back(std::make_unique<MinCostPolicy>());
+  lp::MipOptions budget;
+  budget.max_nodes = 500;
+  budget.time_limit_seconds = 5;
+  policies.push_back(std::make_unique<OptPolicy>(budget));
+  for (const auto& policy : policies) {
+    Rng rng(1);
+    const Decision decision = policy->decide(instance, rng);
+    EXPECT_TRUE(check_schedule(instance, decision.schedule, decision.plan).empty())
+        << policy->name();
+    EXPECT_TRUE(check_plan_covers_schedule(instance, decision.schedule,
+                                           decision.plan)
+                    .empty())
+        << policy->name();
+  }
+}
+
+TEST(Policy, AcceptAllAcceptsEverything) {
+  const BillingCycleSimulator simulator(small_config());
+  const core::SpmInstance instance = simulator.cycle_instance(0);
+  Rng rng(1);
+  const Decision decision = AcceptAllPolicy().decide(instance, rng);
+  EXPECT_EQ(decision.schedule.num_accepted(), instance.num_requests());
+}
+
+TEST(Policy, OptDominatesMetisOnSameInstance) {
+  const BillingCycleSimulator simulator(small_config());
+  const core::SpmInstance instance = simulator.cycle_instance(0);
+  Rng a(1), b(1);
+  const Decision metis = MetisPolicy().decide(instance, a);
+  lp::MipOptions budget;
+  budget.max_nodes = 2000;
+  budget.time_limit_seconds = 5;
+  const Decision opt = OptPolicy(budget).decide(instance, b);
+  const double metis_profit =
+      core::evaluate_with_plan(instance, metis.schedule, metis.plan).profit;
+  const double opt_profit =
+      core::evaluate_with_plan(instance, opt.schedule, opt.plan).profit;
+  EXPECT_GE(opt_profit, metis_profit - 1e-6);  // warm start guarantees this
+}
+
+// ----------------------------------------------------------- simulator ----
+
+TEST(Simulator, RejectsBadConfig) {
+  SimulationConfig bad = small_config();
+  bad.cycles = 0;
+  EXPECT_THROW(BillingCycleSimulator{bad}, std::invalid_argument);
+  bad = small_config();
+  bad.demand_growth = -1.5;
+  EXPECT_THROW(BillingCycleSimulator{bad}, std::invalid_argument);
+}
+
+TEST(Simulator, DemandGrowthCompounds) {
+  const BillingCycleSimulator simulator(small_config());
+  EXPECT_EQ(simulator.cycle_requests(0), 25);
+  EXPECT_EQ(simulator.cycle_requests(1), 30);  // 25 * 1.2
+  EXPECT_EQ(simulator.cycle_requests(2), 36);  // 25 * 1.44
+}
+
+TEST(Simulator, CycleInstancesDifferButAreDeterministic) {
+  const BillingCycleSimulator simulator(small_config());
+  const core::SpmInstance c0 = simulator.cycle_instance(0);
+  const core::SpmInstance c1 = simulator.cycle_instance(1);
+  EXPECT_NE(c0.num_requests(), c1.num_requests());
+  const core::SpmInstance c0_again = simulator.cycle_instance(0);
+  for (int i = 0; i < c0.num_requests(); ++i) {
+    EXPECT_EQ(c0.request(i), c0_again.request(i));
+  }
+  EXPECT_THROW(simulator.cycle_instance(99), std::invalid_argument);
+}
+
+TEST(Simulator, RunAccountsEveryPolicyOverEveryCycle) {
+  const BillingCycleSimulator simulator(small_config());
+  const auto outcomes = simulator.run(standard_policies());
+  ASSERT_EQ(outcomes.size(), 3u);
+  for (const auto& outcome : outcomes) {
+    ASSERT_EQ(outcome.cycles.size(), 3u);
+    double profit = 0, revenue = 0, cost = 0;
+    int accepted = 0, offered = 0;
+    for (const auto& co : outcome.cycles) {
+      profit += co.result.profit;
+      revenue += co.result.revenue;
+      cost += co.result.cost;
+      accepted += co.result.accepted;
+      offered += co.offered_requests;
+      EXPECT_GE(co.decide_ms, 0);
+    }
+    EXPECT_NEAR(outcome.total_profit, profit, 1e-9);
+    EXPECT_NEAR(outcome.total_revenue, revenue, 1e-9);
+    EXPECT_NEAR(outcome.total_cost, cost, 1e-9);
+    EXPECT_EQ(outcome.total_accepted, accepted);
+    EXPECT_EQ(outcome.total_offered, offered);
+  }
+  // All policies saw the same bid books.
+  EXPECT_EQ(outcomes[0].total_offered, outcomes[2].total_offered);
+}
+
+TEST(Simulator, MetisOutperformsAcceptAllCumulatively) {
+  SimulationConfig config = small_config();
+  config.base.network = Network::B4;
+  config.base.num_requests = 60;
+  const BillingCycleSimulator simulator(config);
+  const auto outcomes = simulator.run(standard_policies());
+  double accept_all = 0, metis = 0;
+  for (const auto& outcome : outcomes) {
+    if (outcome.policy == "accept-all") accept_all = outcome.total_profit;
+    if (outcome.policy == "Metis") metis = outcome.total_profit;
+  }
+  EXPECT_GE(metis, accept_all - 1e-9);
+}
+
+}  // namespace
+}  // namespace metis::sim

@@ -1,0 +1,165 @@
+// Paper-fidelity tests: the constructions and bounds of the paper's
+// theorems, exercised against the actual implementation.
+//
+//  * Theorem 1 (NP-hardness): the SUBSET-SUM -> SPM reduction.  We build the
+//    special instance A' (one edge, one slot, r_i = a_i / N, v_i = r_i,
+//    price 1 - sigma) and check that the *exact* optimum equals sigma if and
+//    only if a subset of S sums to N.  (The reduction needs
+//    sigma < 2 - M/N for the subset solution to dominate; the paper glosses
+//    over this, we pick sigma accordingly.)
+//  * Theorem 2 (ceiling bound): for every MAA run, the charged cost is at
+//    most (alpha+1)/alpha times the fractional cost of the rounded loads,
+//    where alpha is the smallest positive per-edge peak.
+//  * Theorem 6 precondition: the mu chosen by TAA satisfies inequality (6).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/opt.h"
+#include "core/accounting.h"
+#include "core/chernoff.h"
+#include "core/instance.h"
+#include "core/maa.h"
+#include "core/taa.h"
+#include "sim/scenario.h"
+#include "util/rng.h"
+
+namespace metis {
+namespace {
+
+/// Builds the reduction instance A' of Theorem 1.
+core::SpmInstance reduction_instance(const std::vector<int>& set, int target,
+                                     double sigma) {
+  net::Topology topo(2);
+  topo.add_edge(0, 1, 1.0 - sigma);
+  std::vector<workload::Request> requests;
+  for (int a : set) {
+    workload::Request r;
+    r.src = 0;
+    r.dst = 1;
+    r.start_slot = 0;
+    r.end_slot = 0;
+    r.rate = static_cast<double>(a) / target;
+    r.value = r.rate;
+    requests.push_back(r);
+  }
+  core::InstanceConfig config;
+  config.num_slots = 1;
+  config.max_paths = 1;
+  return core::SpmInstance(std::move(topo), std::move(requests), config);
+}
+
+struct SubsetSumCase {
+  std::vector<int> set;
+  int target;
+  bool solvable;
+};
+
+class Theorem1Reduction : public ::testing::TestWithParam<SubsetSumCase> {};
+
+TEST_P(Theorem1Reduction, OptimumEqualsSigmaIffSubsetExists) {
+  const SubsetSumCase& c = GetParam();
+  int m = 0;
+  for (int a : c.set) m += a;
+  ASSERT_LT(c.target, m) << "reduction precondition N < M";
+  ASSERT_LT(m, 2 * c.target) << "reduction precondition M < 2N";
+  // sigma must be below 2 - M/N for the subset solution to dominate.
+  const double sigma = 0.9 * (2.0 - static_cast<double>(m) / c.target);
+  const core::SpmInstance instance = reduction_instance(c.set, c.target, sigma);
+  const baselines::OptResult opt = baselines::run_opt_spm(instance);
+  ASSERT_TRUE(opt.exact);
+  if (c.solvable) {
+    EXPECT_NEAR(opt.breakdown.profit, sigma, 1e-6)
+        << "subset exists: optimum must be exactly sigma";
+  } else {
+    EXPECT_LT(opt.breakdown.profit, sigma - 1e-6)
+        << "no subset: optimum must fall short of sigma";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, Theorem1Reduction,
+    ::testing::Values(
+        SubsetSumCase{{3, 8, 5}, 11, true},     // 3 + 8 = 11
+        SubsetSumCase{{3, 5, 8}, 10, false},    // sums: 3,5,8,11,13,16
+        SubsetSumCase{{7, 4, 6, 2}, 13, true},  // 7 + 4 + 2 = 13
+        SubsetSumCase{{7, 5, 9}, 12, true},     // 7 + 5 = 12
+        SubsetSumCase{{6, 9, 7}, 14, false},    // sums: 6,7,9,13,15,16,22
+        SubsetSumCase{{10, 3, 4}, 9, false},    // sums: 3,4,7,10,13,14,17
+        SubsetSumCase{{2, 3, 4, 5}, 9, true})); // 4 + 5 = 9
+
+TEST(Theorem2Ceiling, ChargedCostWithinAlphaBoundOfFractional) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    sim::Scenario scenario;
+    scenario.network = sim::Network::B4;
+    scenario.num_requests = 60;
+    scenario.seed = seed;
+    const core::SpmInstance instance = sim::make_instance(scenario);
+    Rng rng(seed * 11);
+    const core::MaaResult maa = core::run_maa(instance, rng);
+    ASSERT_TRUE(maa.ok());
+
+    const core::LoadMatrix loads = core::compute_loads(instance, maa.schedule);
+    double fractional_cost = 0;
+    double alpha = 0;
+    for (net::EdgeId e = 0; e < instance.num_edges(); ++e) {
+      const double peak = loads.peak(e);
+      if (peak <= 1e-9) continue;
+      fractional_cost += instance.topology().edge(e).price * peak;
+      if (alpha == 0 || peak < alpha) alpha = peak;
+    }
+    ASSERT_GT(alpha, 0) << "seed " << seed;
+    const double bound = (alpha + 1.0) / alpha * fractional_cost;
+    EXPECT_LE(maa.cost, bound + 1e-6) << "seed " << seed;
+    // And the charged cost can never undercut the fractional load cost.
+    EXPECT_GE(maa.cost, fractional_cost - 1e-6);
+  }
+}
+
+TEST(Theorem6Precondition, TaaMuSatisfiesInequality6) {
+  for (int cap : {2, 5, 10}) {
+    sim::Scenario scenario;
+    scenario.network = sim::Network::B4;
+    scenario.num_requests = 80;
+    scenario.seed = 4;
+    scenario.uniform_capacity = cap;
+    const core::SpmInstance instance = sim::make_instance(scenario);
+    core::ChargingPlan caps;
+    caps.units.assign(instance.num_edges(), cap);
+    const core::TaaResult taa = core::run_taa(instance, caps);
+    ASSERT_TRUE(taa.ok());
+    // Normalized minimum capacity as TAA computes it.
+    double r_max = 0;
+    for (const auto& r : instance.requests()) r_max = std::max(r_max, r.rate);
+    const double c = cap / r_max;
+    const double lhs =
+        std::exp((1 - taa.mu) * c) * std::pow(taa.mu, c);
+    const double target =
+        1.0 / (instance.num_slots() * (instance.num_edges() + 1));
+    EXPECT_LT(lhs, target) << "cap " << cap;
+    // Maximality: mu is the largest such value (within bisection slack).
+    const double mu_up = std::min(1.0 - 1e-12, taa.mu + 1e-3);
+    EXPECT_GE(std::exp((1 - mu_up) * c) * std::pow(mu_up, c), target * 0.999);
+  }
+}
+
+TEST(Theorem6Floor, AugmentedRevenueClearsFloorInPractice) {
+  // I_B is a *guaranteed* floor for good leaves; the delivered schedule
+  // should clear it comfortably across seeds.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    sim::Scenario scenario;
+    scenario.network = sim::Network::B4;
+    scenario.num_requests = 100;
+    scenario.seed = seed;
+    scenario.uniform_capacity = 5;
+    const core::SpmInstance instance = sim::make_instance(scenario);
+    core::ChargingPlan caps;
+    caps.units.assign(instance.num_edges(), 5);
+    const core::TaaResult taa = core::run_taa(instance, caps);
+    ASSERT_TRUE(taa.ok());
+    EXPECT_GE(taa.revenue, taa.revenue_floor - 1e-6) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace metis

@@ -1,0 +1,282 @@
+// Unit tests for the util substrate: Rng, statistics, TablePrinter, ArgParser.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/args.h"
+#include "util/log.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace metis {
+namespace {
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 1000000) == b.uniform_int(0, 1000000)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.5, 3.5);
+    EXPECT_GE(x, 2.5);
+    EXPECT_LT(x, 3.5);
+  }
+}
+
+TEST(Rng, UniformDegenerateRange) {
+  Rng rng(7);
+  EXPECT_DOUBLE_EQ(rng.uniform(4.0, 4.0), 4.0);
+}
+
+TEST(Rng, UniformRejectsInvertedRange) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform(2, 1), std::invalid_argument);
+  EXPECT_THROW(rng.uniform_int(5, 4), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(3);
+  std::set<int> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 4);
+}
+
+TEST(Rng, PoissonMeanRoughlyCorrect) {
+  Rng rng(11);
+  double total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += rng.poisson(6.0);
+  EXPECT_NEAR(total / n, 6.0, 0.15);
+}
+
+TEST(Rng, PoissonRejectsNonPositiveMean) {
+  Rng rng(1);
+  EXPECT_THROW(rng.poisson(0), std::invalid_argument);
+  EXPECT_THROW(rng.poisson(-1), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(13);
+  const std::vector<double> weights = {0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.weighted_index(weights)];
+  }
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, WeightedIndexRejectsAllZero) {
+  Rng rng(1);
+  const std::vector<double> weights = {0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(weights), std::invalid_argument);
+}
+
+TEST(Rng, WeightedIndexTreatsNegativeAsZero) {
+  Rng rng(1);
+  const std::vector<double> weights = {-5.0, 1.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.weighted_index(weights), 1u);
+  }
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(21);
+  const auto perm = rng.permutation(50);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng parent(99);
+  Rng child = parent.fork();
+  // The child continues deterministically but differs from the parent.
+  const double c = child.uniform(0, 1);
+  const double p = parent.uniform(0, 1);
+  EXPECT_NE(c, p);
+}
+
+// -------------------------------------------------------------- stats ----
+
+TEST(Stats, SummarizeBasics) {
+  const std::vector<double> values = {1, 2, 3, 4};
+  const Summary s = summarize(values);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 4);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.sum, 10);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(Stats, SummarizeEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> values = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(values, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(values, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(values, 50), 25);
+}
+
+TEST(Stats, PercentileSingleElement) {
+  const std::vector<double> values = {7};
+  EXPECT_DOUBLE_EQ(percentile(values, 37), 7);
+}
+
+TEST(Stats, PercentileRejectsBadInput) {
+  EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+  const std::vector<double> values = {1.0};
+  EXPECT_THROW(percentile(values, -1), std::invalid_argument);
+  EXPECT_THROW(percentile(values, 101), std::invalid_argument);
+}
+
+TEST(Stats, AccumulatorMatchesSummarize) {
+  Rng rng(17);
+  std::vector<double> values;
+  Accumulator acc;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-3, 9);
+    values.push_back(x);
+    acc.add(x);
+  }
+  const Summary direct = summarize(values);
+  EXPECT_NEAR(acc.mean(), direct.mean, 1e-9);
+  EXPECT_NEAR(acc.stddev(), direct.stddev, 1e-9);
+  EXPECT_DOUBLE_EQ(acc.min(), direct.min);
+  EXPECT_DOUBLE_EQ(acc.max(), direct.max);
+}
+
+// -------------------------------------------------------------- table ----
+
+TEST(Table, RendersAlignedColumns) {
+  TablePrinter table({"name", "value"});
+  table.add_row({std::string("alpha"), 1.5});
+  table.add_row({std::string("b"), 22.25});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22.250"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  TablePrinter table({"a,b", "c"});
+  table.add_row({std::string("x\"y"), 1LL});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"x\"\"y\""), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  TablePrinter table({"one", "two"});
+  EXPECT_THROW(table.add_row({std::string("only")}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeadersThrow) {
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- log ----
+
+TEST(Log, LevelGateIsRespected) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  // Emitting below the gate must be a no-op (no crash, no state change).
+  log_message(LogLevel::Debug, "suppressed");
+  log_message(LogLevel::Info, "suppressed");
+  METIS_LOG_INFO << "suppressed via stream";
+  set_log_level(LogLevel::Off);
+  log_message(LogLevel::Error, "also suppressed at Off");
+  set_log_level(saved);
+}
+
+TEST(Log, StreamHelperFormats) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::Off);
+  // The macro must accept mixed operand types and emit on destruction
+  // without touching global state beyond the gate.
+  METIS_LOG(LogLevel::Warn) << "x=" << 42 << " y=" << 1.5 << " z=" << "str";
+  set_log_level(saved);
+  EXPECT_EQ(log_level(), saved);
+}
+
+// --------------------------------------------------------------- args ----
+
+TEST(Args, ParsesAllForms) {
+  const char* argv[] = {"prog", "--count", "5", "--ratio=2.5", "--verbose"};
+  ArgParser args(5, argv);
+  EXPECT_EQ(args.get_int("count", 0), 5);
+  EXPECT_DOUBLE_EQ(args.get_double("ratio", 0), 2.5);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  args.finish();
+}
+
+TEST(Args, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  ArgParser args(1, argv);
+  EXPECT_EQ(args.get("name", "fallback"), "fallback");
+  EXPECT_EQ(args.get_int("k", 9), 9);
+  args.finish();
+}
+
+TEST(Args, UnknownFlagDetectedByFinish) {
+  const char* argv[] = {"prog", "--typo", "1"};
+  ArgParser args(3, argv);
+  args.get_int("count", 0);
+  EXPECT_THROW(args.finish(), std::invalid_argument);
+}
+
+TEST(Args, BadIntegerThrows) {
+  const char* argv[] = {"prog", "--count", "abc"};
+  ArgParser args(3, argv);
+  EXPECT_THROW(args.get_int("count", 0), std::invalid_argument);
+}
+
+TEST(Args, HelpFlagDetected) {
+  const char* argv[] = {"prog", "--help"};
+  ArgParser args(2, argv);
+  EXPECT_TRUE(args.help_requested());
+}
+
+TEST(Args, PositionalArgumentRejected) {
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_THROW(ArgParser(2, argv), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace metis

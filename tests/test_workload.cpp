@@ -1,0 +1,231 @@
+// Tests for the workload substrate: Request validation, the synthetic
+// generator's distributions, and workload I/O.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "net/topologies.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+#include "workload/request.h"
+#include "workload/workload_io.h"
+
+namespace metis::workload {
+namespace {
+
+// ------------------------------------------------------------ Request ----
+
+TEST(Request, ActiveWindowAndDuration) {
+  Request r{0, 1, 3, 7, 0.2, 1.0};
+  EXPECT_EQ(r.duration(), 5);
+  EXPECT_FALSE(r.active_at(2));
+  EXPECT_TRUE(r.active_at(3));
+  EXPECT_TRUE(r.active_at(7));
+  EXPECT_FALSE(r.active_at(8));
+  EXPECT_DOUBLE_EQ(r.rate_at(5), 0.2);
+  EXPECT_DOUBLE_EQ(r.rate_at(8), 0.0);
+}
+
+TEST(Request, ValidationCatchesMalformedRequests) {
+  const int nodes = 6, slots = 12;
+  validate_request({0, 1, 0, 11, 0.1, 1.0}, nodes, slots);  // ok
+  EXPECT_THROW(validate_request({0, 0, 0, 1, 0.1, 1}, nodes, slots),
+               std::invalid_argument);  // src == dst
+  EXPECT_THROW(validate_request({0, 9, 0, 1, 0.1, 1}, nodes, slots),
+               std::invalid_argument);  // bad node
+  EXPECT_THROW(validate_request({0, 1, 5, 3, 0.1, 1}, nodes, slots),
+               std::invalid_argument);  // start > end
+  EXPECT_THROW(validate_request({0, 1, 0, 12, 0.1, 1}, nodes, slots),
+               std::invalid_argument);  // end beyond cycle
+  EXPECT_THROW(validate_request({0, 1, 0, 1, 0.0, 1}, nodes, slots),
+               std::invalid_argument);  // zero rate
+  EXPECT_THROW(validate_request({0, 1, 0, 1, 0.1, -1}, nodes, slots),
+               std::invalid_argument);  // negative value
+}
+
+// ---------------------------------------------------------- generator ----
+
+TEST(Generator, DeterministicForSeed) {
+  const net::Topology topo = net::make_b4();
+  const RequestGenerator gen(topo, {});
+  Rng a(42), b(42);
+  EXPECT_EQ(gen.generate(50, a), gen.generate(50, b));
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const net::Topology topo = net::make_b4();
+  const RequestGenerator gen(topo, {});
+  Rng a(1), b(2);
+  EXPECT_NE(gen.generate(50, a), gen.generate(50, b));
+}
+
+TEST(Generator, ExactCountAndValidity) {
+  const net::Topology topo = net::make_b4();
+  GeneratorConfig config;
+  const RequestGenerator gen(topo, config);
+  Rng rng(7);
+  const auto requests = gen.generate(200, rng);
+  ASSERT_EQ(requests.size(), 200u);
+  for (const Request& r : requests) {
+    validate_request(r, topo.num_nodes(), config.num_slots);
+    EXPECT_GE(r.rate, config.min_rate);
+    EXPECT_LE(r.rate, config.max_rate);
+    EXPECT_GT(r.value, 0);
+  }
+}
+
+TEST(Generator, ValueScalesWithVolume) {
+  const net::Topology topo = net::make_b4();
+  GeneratorConfig config;
+  config.value_noise = 0.0;        // make the value model deterministic
+  config.low_value_fraction = 0.0;  // no bargain segment
+  const RequestGenerator gen(topo, config);
+  Rng rng(3);
+  for (const Request& r : gen.generate(100, rng)) {
+    EXPECT_NEAR(r.value, r.rate * r.duration() * config.value_per_unit_slot,
+                1e-9);
+  }
+}
+
+TEST(Generator, LowValueSegmentPresent) {
+  const net::Topology topo = net::make_b4();
+  GeneratorConfig config;
+  config.value_noise = 0.0;
+  config.low_value_fraction = 0.5;
+  const RequestGenerator gen(topo, config);
+  Rng rng(5);
+  int low = 0, full = 0;
+  for (const Request& r : gen.generate(400, rng)) {
+    const double market = r.rate * r.duration() * config.value_per_unit_slot;
+    if (std::abs(r.value - market) < 1e-9) {
+      ++full;
+    } else {
+      EXPECT_LT(r.value, market);  // bargains bid strictly below market
+      EXPECT_GE(r.value, market * config.low_value_min - 1e-9);
+      ++low;
+    }
+  }
+  // Roughly half of each; loose bounds.
+  EXPECT_GT(low, 120);
+  EXPECT_GT(full, 120);
+}
+
+TEST(Generator, RejectsBadLowValueConfig) {
+  const net::Topology topo = net::make_b4();
+  GeneratorConfig bad;
+  bad.low_value_fraction = 1.5;
+  EXPECT_THROW(RequestGenerator(topo, bad), std::invalid_argument);
+  bad = {};
+  bad.low_value_min = 0.5;
+  bad.low_value_max = 0.2;
+  EXPECT_THROW(RequestGenerator(topo, bad), std::invalid_argument);
+}
+
+TEST(Generator, PoissonTotalNearExpectation) {
+  const net::Topology topo = net::make_sub_b4();
+  GeneratorConfig config;
+  const RequestGenerator gen(topo, config);
+  Rng rng(11);
+  double total = 0;
+  const int reps = 200;
+  for (int i = 0; i < reps; ++i) {
+    total += static_cast<double>(gen.generate_poisson(5.0, rng).size());
+  }
+  // Expected 12 slots * 5 arrivals = 60 per cycle.
+  EXPECT_NEAR(total / reps, 60.0, 2.0);
+}
+
+TEST(Generator, StartSlotsCoverCycle) {
+  const net::Topology topo = net::make_sub_b4();
+  const RequestGenerator gen(topo, {});
+  Rng rng(13);
+  std::vector<int> counts(12, 0);
+  for (const Request& r : gen.generate(2400, rng)) ++counts[r.start_slot];
+  for (int slot = 0; slot < 12; ++slot) {
+    EXPECT_GT(counts[slot], 100) << "slot " << slot;  // ~200 expected
+  }
+}
+
+TEST(Generator, EndSlotNeverBeforeStart) {
+  const net::Topology topo = net::make_b4();
+  const RequestGenerator gen(topo, {});
+  Rng rng(17);
+  for (const Request& r : gen.generate(500, rng)) {
+    EXPECT_LE(r.start_slot, r.end_slot);
+    EXPECT_LT(r.end_slot, 12);
+  }
+}
+
+TEST(Generator, RejectsBadConfig) {
+  const net::Topology topo = net::make_b4();
+  GeneratorConfig bad;
+  bad.num_slots = 0;
+  EXPECT_THROW(RequestGenerator(topo, bad), std::invalid_argument);
+  bad = {};
+  bad.min_rate = 0;
+  EXPECT_THROW(RequestGenerator(topo, bad), std::invalid_argument);
+  bad = {};
+  bad.min_rate = 2;
+  bad.max_rate = 1;
+  EXPECT_THROW(RequestGenerator(topo, bad), std::invalid_argument);
+  bad = {};
+  bad.value_noise = 1.0;
+  EXPECT_THROW(RequestGenerator(topo, bad), std::invalid_argument);
+}
+
+TEST(Generator, NegativeCountThrows) {
+  const net::Topology topo = net::make_b4();
+  const RequestGenerator gen(topo, {});
+  Rng rng(1);
+  EXPECT_THROW(gen.generate(-1, rng), std::invalid_argument);
+  EXPECT_THROW(gen.generate_poisson(0, rng), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- IO ----
+
+TEST(WorkloadIo, RoundTrip) {
+  const net::Topology topo = net::make_b4();
+  const RequestGenerator gen(topo, {});
+  Rng rng(23);
+  Workload original;
+  original.num_slots = 12;
+  original.requests = gen.generate(40, rng);
+
+  std::stringstream buffer;
+  write_workload(buffer, original);
+  const Workload parsed = read_workload(buffer);
+  ASSERT_EQ(parsed.num_slots, original.num_slots);
+  ASSERT_EQ(parsed.requests.size(), original.requests.size());
+  for (std::size_t i = 0; i < parsed.requests.size(); ++i) {
+    EXPECT_EQ(parsed.requests[i].src, original.requests[i].src);
+    EXPECT_EQ(parsed.requests[i].dst, original.requests[i].dst);
+    EXPECT_EQ(parsed.requests[i].start_slot, original.requests[i].start_slot);
+    EXPECT_EQ(parsed.requests[i].end_slot, original.requests[i].end_slot);
+    EXPECT_NEAR(parsed.requests[i].rate, original.requests[i].rate, 1e-6);
+    EXPECT_NEAR(parsed.requests[i].value, original.requests[i].value, 1e-6);
+  }
+}
+
+TEST(WorkloadIo, RejectsMalformedInput) {
+  std::stringstream no_slots("request 0 1 0 1 0.5 1.0\n");
+  EXPECT_THROW(read_workload(no_slots), std::runtime_error);
+  std::stringstream bad_window("slots 12\nrequest 0 1 5 3 0.5 1.0\n");
+  EXPECT_THROW(read_workload(bad_window), std::runtime_error);
+  std::stringstream bad_fields("slots 12\nrequest 0 1 zero\n");
+  EXPECT_THROW(read_workload(bad_fields), std::runtime_error);
+}
+
+TEST(WorkloadIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream in(
+      "# workload\n"
+      "slots 12\n"
+      "\n"
+      "request 0 1 2 5 0.25 1.5  # a request\n");
+  const Workload w = read_workload(in);
+  ASSERT_EQ(w.requests.size(), 1u);
+  EXPECT_EQ(w.requests[0].end_slot, 5);
+}
+
+}  // namespace
+}  // namespace metis::workload
