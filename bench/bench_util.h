@@ -1,9 +1,12 @@
 // Shared helpers for the figure-reproduction bench binaries.
 //
 // Every table bench accepts an optional `--csv` flag that switches output
-// from aligned ASCII tables to RFC-4180 CSV (for plotting scripts).
+// from aligned ASCII tables to RFC-4180 CSV (for plotting scripts), and the
+// parallelized benches accept `--threads N` (0 = all hardware threads,
+// 1 = serial; output is byte-identical for every value).
 #pragma once
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -17,6 +20,21 @@ inline bool csv_mode(int argc, char** argv) {
     if (std::strcmp(argv[i], "--csv") == 0) return true;
   }
   return false;
+}
+
+/// Parses `--threads N` / `--threads=N`; returns 0 (all hardware threads)
+/// when absent.  Thread count is a wall-clock knob only — the determinism
+/// contract (util/parallel.h) guarantees identical output for every value.
+inline int threads_arg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      return std::atoi(argv[i + 1]);
+    }
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      return std::atoi(argv[i] + 10);
+    }
+  }
+  return 0;
 }
 
 /// Prints the table in the selected format.  In CSV mode `title` becomes a

@@ -45,10 +45,7 @@ LoadMatrix compute_loads(const SpmInstance& instance, const Schedule& schedule) 
 ChargingPlan charging_from_loads(const LoadMatrix& loads) {
   ChargingPlan plan = ChargingPlan::none(loads.num_edges());
   for (net::EdgeId e = 0; e < loads.num_edges(); ++e) {
-    const double peak = loads.peak(e);
-    // Guard against ceil(1.0000000001) = 2 style charges caused by float
-    // accumulation of exact-looking rates.
-    plan.units[e] = static_cast<int>(std::ceil(peak - 1e-9));
+    plan.units[e] = charged_units(loads.peak(e));
   }
   return plan;
 }

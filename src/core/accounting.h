@@ -2,6 +2,7 @@
 // quantities every figure of the paper reports.
 #pragma once
 
+#include <cmath>
 #include <vector>
 
 #include "core/instance.h"
@@ -34,6 +35,17 @@ class LoadMatrix {
   int num_slots_;
   std::vector<double> data_;
 };
+
+/// Integer charged units for a peak load: the paper's ceiling with a 1e-9
+/// backoff so a numerically-exact integer peak (1.0000000001 from float
+/// accumulation of exact-looking rates) is not overcharged by one unit.
+/// The single source of truth for this guard — the SP updater's saving/cost
+/// estimates (metis.cpp) and the billed plan (charging_from_loads) must
+/// agree bit-for-bit or the updater optimizes against a different bill than
+/// the one charged.
+inline int charged_units(double peak) {
+  return static_cast<int>(std::ceil(peak - 1e-9));
+}
 
 /// Accumulates the per-edge/per-slot loads of a schedule.
 LoadMatrix compute_loads(const SpmInstance& instance, const Schedule& schedule);

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/lp_builder.h"
+#include "util/parallel.h"
 
 namespace metis::core {
 
@@ -75,21 +76,50 @@ MaaResult run_maa(const SpmInstance& instance, const std::vector<bool>& accepted
   result.alpha = alpha;
 
   // Stages 2+3, keeping the cheapest of `rounding_trials` roundings.
-  double best_cost = lp::kInfinity;
-  const int trials = options.deterministic ? 1 : options.rounding_trials;
-  for (int trial = 0; trial < trials; ++trial) {
-    Schedule candidate =
-        options.deterministic
-            ? round_argmax(instance, model, relaxed.x, accepted)
-            : round_once(instance, model, relaxed.x, accepted, rng);
-    const ChargingPlan plan = charging_from_loads(compute_loads(instance, candidate));
-    const double candidate_cost = cost(instance.topology(), plan);
-    if (candidate_cost < best_cost) {
-      best_cost = candidate_cost;
-      result.schedule = std::move(candidate);
-      result.plan = plan;
-      result.cost = candidate_cost;
+  const auto keep = [&](Schedule candidate) {
+    result.plan = charging_from_loads(compute_loads(instance, candidate));
+    result.cost = cost(instance.topology(), result.plan);
+    result.schedule = std::move(candidate);
+  };
+  if (options.deterministic) {
+    keep(round_argmax(instance, model, relaxed.x, accepted));
+  } else if (options.rounding_trials == 1) {
+    // The paper's Algorithm 1 verbatim: one rounding drawn directly from the
+    // caller's generator (bit-identical to the historical serial behaviour,
+    // which the multi-cycle simulator and Metis's default path rely on).
+    keep(round_once(instance, model, relaxed.x, accepted, rng));
+  } else {
+    // Best-of-N: trial t draws from the index-addressed stream
+    // base.split(t), so the set of candidates — and the winner — does not
+    // depend on thread count or scheduling order.  The caller's generator
+    // advances exactly once (the fork), keeping repeated run_maa calls on
+    // one Rng statistically independent.
+    struct Candidate {
+      Schedule schedule;
+      ChargingPlan plan;
+      double cost = lp::kInfinity;
+    };
+    const Rng base = rng.fork();
+    std::vector<Candidate> candidates = parallel_map(
+        options.rounding_trials,
+        [&](int trial) {
+          Rng trial_rng = base.split(static_cast<std::uint64_t>(trial));
+          Candidate c;
+          c.schedule = round_once(instance, model, relaxed.x, accepted, trial_rng);
+          c.plan = charging_from_loads(compute_loads(instance, c.schedule));
+          c.cost = cost(instance.topology(), c.plan);
+          return c;
+        },
+        options.threads);
+    // Deterministic serial reduction: minimum cost, lowest trial index on
+    // ties (strict < while scanning in index order).
+    std::size_t best = 0;
+    for (std::size_t t = 1; t < candidates.size(); ++t) {
+      if (candidates[t].cost < candidates[best].cost) best = t;
     }
+    result.schedule = std::move(candidates[best].schedule);
+    result.plan = std::move(candidates[best].plan);
+    result.cost = candidates[best].cost;
   }
   return result;
 }

@@ -25,6 +25,15 @@ struct MaaOptions {
   /// Deterministic variant (ablation): instead of sampling, each request
   /// takes its argmax-probability path.  `rounding_trials` is ignored.
   bool deterministic = false;
+  /// Worker threads for the best-of-N rounding loop (0 = all hardware
+  /// threads, 1 = strictly serial).  With `rounding_trials > 1` each trial
+  /// draws from an index-addressed stream (`Rng::split(trial)`) and the
+  /// winner is reduced by (cost, lowest trial index), so the result is
+  /// bit-identical for every thread count.  With `rounding_trials == 1`
+  /// (the paper's Algorithm 1) the single rounding draws directly from the
+  /// caller's generator, byte-for-byte reproducing the historical serial
+  /// behaviour.  See docs/ALGORITHMS.md §"Parallel execution".
+  int threads = 0;
   lp::SimplexOptions lp;
 };
 

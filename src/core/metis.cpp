@@ -41,9 +41,8 @@ double removal_saving(const SpmInstance& instance, const LoadMatrix& loads,
     const bool in_window = t >= start && t <= end;
     peak_without = std::max(peak_without, in_window ? load - rate : load);
   }
-  const double units_with = std::ceil(peak_with - 1e-9);
-  const double units_without = std::ceil(peak_without - 1e-9);
-  return instance.topology().edge(e).price * (units_with - units_without);
+  return instance.topology().edge(e).price *
+         (charged_units(peak_with) - charged_units(peak_without));
 }
 
 }  // namespace
@@ -103,7 +102,7 @@ int reroute_cheaper(const SpmInstance& instance, Schedule& schedule) {
   const auto cost_of_edges = [&](const std::vector<net::EdgeId>& edges) {
     double total = 0;
     for (net::EdgeId e : edges) {
-      total += instance.topology().edge(e).price * std::ceil(loads.peak(e) - 1e-9);
+      total += instance.topology().edge(e).price * charged_units(loads.peak(e));
     }
     return total;
   };

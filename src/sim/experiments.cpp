@@ -13,6 +13,7 @@
 #include "core/taa.h"
 #include "sim/validate.h"
 #include "util/log.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace metis::sim {
@@ -81,52 +82,83 @@ Scenario base_scenario(Network network, int num_requests, std::uint64_t seed) {
 }  // namespace
 
 std::vector<Fig3Row> run_fig3(const Fig3Config& config) {
+  const int reps = config.sweep.repetitions;
+  const int num_k = static_cast<int>(config.sweep.request_counts.size());
+
+  struct Cell {
+    SolutionMetrics metis, opt_spm, opt_rl_spm;
+    bool opt_exact = true;
+    double metis_ms = 0, opt_ms = 0, rl_ms = 0;
+  };
+  // One cell per (request count, repetition).  Each cell seeds its own Rng
+  // from (sweep seed, rep) and reads only the config, so the grid
+  // parallelizes as-is; results are identical for every thread count (the
+  // wall-clock columns naturally vary with machine load).
+  const std::vector<Cell> cells = parallel_map(
+      num_k * reps,
+      [&](int index) {
+        const int k = config.sweep.request_counts[index / reps];
+        const int rep = index % reps;
+        const Scenario scenario =
+            base_scenario(Network::SubB4, k, config.sweep.seed + rep);
+        const core::SpmInstance instance = make_instance(scenario);
+        Rng rng(scenario.seed * 7919 + 17);
+        Cell cell;
+
+        double t0 = now_ms();
+        core::MetisOptions mopt;
+        mopt.theta = config.theta;
+        const core::MetisResult metis = core::run_metis(instance, rng, mopt);
+        cell.metis_ms = now_ms() - t0;
+        assert_feasible(instance, metis.schedule, metis.plan, "Metis");
+        cell.metis = measure_with_plan(instance, metis.schedule, metis.plan);
+
+        // OPT(SPM), warm-started from Metis's decision so that a node/time
+        // budget can only improve on the heuristic, never fall below it.
+        t0 = now_ms();
+        const baselines::OptResult opt =
+            baselines::run_opt_spm(instance, config.mip, &metis.schedule);
+        cell.opt_ms = now_ms() - t0;
+        if (!opt.ok()) throw std::runtime_error("fig3: OPT(SPM) found no incumbent");
+        cell.opt_exact = opt.exact;
+        assert_feasible(instance, opt.schedule, opt.plan, "OPT(SPM)");
+        cell.opt_spm = measure_with_plan(instance, opt.schedule, opt.plan);
+
+        // OPT(RL-SPM), warm-started from a best-of-32 MAA rounding.
+        t0 = now_ms();
+        core::MaaOptions maa_opt;
+        maa_opt.rounding_trials = 32;
+        Rng maa_rng(scenario.seed * 13 + 5);
+        const core::MaaResult maa = core::run_maa(instance, {}, maa_rng, maa_opt);
+        const baselines::OptResult rl =
+            maa.ok() ? baselines::run_opt_rl_spm(instance, config.mip, &maa.schedule)
+                     : baselines::run_opt_rl_spm(instance, config.mip);
+        cell.rl_ms = now_ms() - t0;
+        if (!rl.ok()) throw std::runtime_error("fig3: OPT(RL-SPM) found no incumbent");
+        assert_feasible(instance, rl.schedule, rl.plan, "OPT(RL-SPM)");
+        cell.opt_rl_spm = measure_with_plan(instance, rl.schedule, rl.plan);
+        return cell;
+      },
+      config.sweep.threads);
+
+  // Serial reduction in cell-index order: float sums match the historical
+  // nested loop bit-for-bit.
   std::vector<Fig3Row> rows;
-  for (int k : config.sweep.request_counts) {
+  for (int ki = 0; ki < num_k; ++ki) {
     Fig3Row row;
-    row.num_requests = k;
+    row.num_requests = config.sweep.request_counts[ki];
     MetricsAverager metis_avg, opt_avg, rl_avg;
     double metis_ms = 0, opt_ms = 0, rl_ms = 0;
-    for (int rep = 0; rep < config.sweep.repetitions; ++rep) {
-      const Scenario scenario =
-          base_scenario(Network::SubB4, k, config.sweep.seed + rep);
-      const core::SpmInstance instance = make_instance(scenario);
-      Rng rng(scenario.seed * 7919 + 17);
-
-      double t0 = now_ms();
-      core::MetisOptions mopt;
-      mopt.theta = config.theta;
-      const core::MetisResult metis = core::run_metis(instance, rng, mopt);
-      metis_ms += now_ms() - t0;
-      assert_feasible(instance, metis.schedule, metis.plan, "Metis");
-      metis_avg.add(measure_with_plan(instance, metis.schedule, metis.plan));
-
-      // OPT(SPM), warm-started from Metis's decision so that a node/time
-      // budget can only improve on the heuristic, never fall below it.
-      t0 = now_ms();
-      const baselines::OptResult opt =
-          baselines::run_opt_spm(instance, config.mip, &metis.schedule);
-      opt_ms += now_ms() - t0;
-      if (!opt.ok()) throw std::runtime_error("fig3: OPT(SPM) found no incumbent");
-      row.opt_exact = row.opt_exact && opt.exact;
-      assert_feasible(instance, opt.schedule, opt.plan, "OPT(SPM)");
-      opt_avg.add(measure_with_plan(instance, opt.schedule, opt.plan));
-
-      // OPT(RL-SPM), warm-started from a best-of-32 MAA rounding.
-      t0 = now_ms();
-      core::MaaOptions maa_opt;
-      maa_opt.rounding_trials = 32;
-      Rng maa_rng(scenario.seed * 13 + 5);
-      const core::MaaResult maa = core::run_maa(instance, {}, maa_rng, maa_opt);
-      const baselines::OptResult rl =
-          maa.ok() ? baselines::run_opt_rl_spm(instance, config.mip, &maa.schedule)
-                   : baselines::run_opt_rl_spm(instance, config.mip);
-      rl_ms += now_ms() - t0;
-      if (!rl.ok()) throw std::runtime_error("fig3: OPT(RL-SPM) found no incumbent");
-      assert_feasible(instance, rl.schedule, rl.plan, "OPT(RL-SPM)");
-      rl_avg.add(measure_with_plan(instance, rl.schedule, rl.plan));
+    for (int rep = 0; rep < reps; ++rep) {
+      const Cell& cell = cells[ki * reps + rep];
+      metis_avg.add(cell.metis);
+      opt_avg.add(cell.opt_spm);
+      rl_avg.add(cell.opt_rl_spm);
+      row.opt_exact = row.opt_exact && cell.opt_exact;
+      metis_ms += cell.metis_ms;
+      opt_ms += cell.opt_ms;
+      rl_ms += cell.rl_ms;
     }
-    const int reps = config.sweep.repetitions;
     row.metis = metis_avg.mean();
     row.opt_spm = opt_avg.mean();
     row.opt_rl_spm = rl_avg.mean();
@@ -140,31 +172,51 @@ std::vector<Fig3Row> run_fig3(const Fig3Config& config) {
 
 std::vector<Fig4aRow> run_fig4a(const Fig4aConfig& config) {
   const SweepConfig& sweep = config.sweep;
+  const int reps = sweep.repetitions;
+  const int num_k = static_cast<int>(sweep.request_counts.size());
+
+  struct Cell {
+    double maa_cost = 0, lp_cost = 0, mincost_cost = 0;
+  };
+  const std::vector<Cell> cells = parallel_map(
+      num_k * reps,
+      [&](int index) {
+        const int k = sweep.request_counts[index / reps];
+        const int rep = index % reps;
+        const Scenario scenario = base_scenario(Network::B4, k, sweep.seed + rep);
+        const core::SpmInstance instance = make_instance(scenario);
+        Rng rng(scenario.seed * 104729 + 3);
+        Cell cell;
+
+        core::MaaOptions maa_options;
+        maa_options.rounding_trials = config.rounding_trials;
+        const core::MaaResult maa = core::run_maa(instance, {}, rng, maa_options);
+        if (!maa.ok()) throw std::runtime_error("fig4a: MAA LP failed");
+        assert_feasible(instance, maa.schedule, maa.plan, "MAA");
+        cell.maa_cost = maa.cost;
+        cell.lp_cost = maa.lp_cost;
+
+        const baselines::MinCostResult mc = baselines::run_mincost(instance);
+        assert_feasible(instance, mc.schedule, mc.plan, "MinCost");
+        cell.mincost_cost = mc.cost;
+        return cell;
+      },
+      sweep.threads);
+
   std::vector<Fig4aRow> rows;
-  for (int k : sweep.request_counts) {
+  for (int ki = 0; ki < num_k; ++ki) {
     Fig4aRow row;
-    row.num_requests = k;
+    row.num_requests = sweep.request_counts[ki];
     double maa_cost = 0, mincost_cost = 0, lp_cost = 0;
-    for (int rep = 0; rep < sweep.repetitions; ++rep) {
-      const Scenario scenario = base_scenario(Network::B4, k, sweep.seed + rep);
-      const core::SpmInstance instance = make_instance(scenario);
-      Rng rng(scenario.seed * 104729 + 3);
-
-      core::MaaOptions maa_options;
-      maa_options.rounding_trials = config.rounding_trials;
-      const core::MaaResult maa = core::run_maa(instance, {}, rng, maa_options);
-      if (!maa.ok()) throw std::runtime_error("fig4a: MAA LP failed");
-      assert_feasible(instance, maa.schedule, maa.plan, "MAA");
-      maa_cost += maa.cost;
-      lp_cost += maa.lp_cost;
-
-      const baselines::MinCostResult mc = baselines::run_mincost(instance);
-      assert_feasible(instance, mc.schedule, mc.plan, "MinCost");
-      mincost_cost += mc.cost;
+    for (int rep = 0; rep < reps; ++rep) {
+      const Cell& cell = cells[ki * reps + rep];
+      maa_cost += cell.maa_cost;
+      lp_cost += cell.lp_cost;
+      mincost_cost += cell.mincost_cost;
     }
-    row.maa_cost = maa_cost / sweep.repetitions;
-    row.mincost_cost = mincost_cost / sweep.repetitions;
-    row.lp_lower_bound = lp_cost / sweep.repetitions;
+    row.maa_cost = maa_cost / reps;
+    row.mincost_cost = mincost_cost / reps;
+    row.lp_lower_bound = lp_cost / reps;
     row.mincost_over_maa = row.maa_cost > 0 ? row.mincost_cost / row.maa_cost : 0;
     rows.push_back(row);
   }
@@ -204,23 +256,36 @@ std::vector<Fig4bRow> run_fig4b(const Fig4bConfig& config) {
       }
     }
 
+    // Trial t rounds with the index-addressed stream rng.split(t): the
+    // 1000-trial loop parallelizes freely while each trial's draws — and
+    // therefore every ratio statistic below — stay byte-identical for any
+    // thread count.
+    const std::vector<double> trial_costs = parallel_map(
+        config.trials,
+        [&](int trial) {
+          Rng trial_rng = rng.split(static_cast<std::uint64_t>(trial));
+          core::Schedule schedule =
+              core::Schedule::all_declined(instance.num_requests());
+          std::vector<double> weights;
+          for (int i = 0; i < instance.num_requests(); ++i) {
+            weights.clear();
+            for (int j = 0; j < instance.num_paths(i); ++j) {
+              weights.push_back(relaxed.x.at(model.x_var[i][j]));
+            }
+            schedule.path_choice[i] =
+                static_cast<int>(trial_rng.weighted_index(weights));
+          }
+          const core::ChargingPlan plan =
+              core::charging_from_loads(core::compute_loads(instance, schedule));
+          return core::cost(instance.topology(), plan);
+        },
+        config.threads);
+
     Accumulator ratios;  // vs the ILP reference (or LP when disabled)
     const double reference = row.ilp_cost > 0 ? row.ilp_cost : row.lp_bound_cost;
     Accumulator lp_ratios;
-    std::vector<double> weights;
-    for (int trial = 0; trial < config.trials; ++trial) {
-      core::Schedule schedule =
-          core::Schedule::all_declined(instance.num_requests());
-      for (int i = 0; i < instance.num_requests(); ++i) {
-        weights.clear();
-        for (int j = 0; j < instance.num_paths(i); ++j) {
-          weights.push_back(relaxed.x.at(model.x_var[i][j]));
-        }
-        schedule.path_choice[i] = static_cast<int>(rng.weighted_index(weights));
-      }
-      const core::ChargingPlan plan =
-          core::charging_from_loads(core::compute_loads(instance, schedule));
-      const double rounded_cost = core::cost(instance.topology(), plan);
+    // Serial reduction in trial order keeps the float sums deterministic.
+    for (const double rounded_cost : trial_costs) {
       ratios.add(rounded_cost / reference);
       lp_ratios.add(rounded_cost / row.lp_bound_cost);
     }
@@ -236,30 +301,52 @@ std::vector<Fig4bRow> run_fig4b(const Fig4bConfig& config) {
 }
 
 std::vector<Fig4cdRow> run_fig4cd(const Fig4cdConfig& config) {
+  const int reps = config.sweep.repetitions;
+  const int num_k = static_cast<int>(config.sweep.request_counts.size());
+
+  struct Cell {
+    double taa_revenue = 0, taa_accepted = 0, lp_revenue_bound = 0;
+    double amoeba_revenue = 0, amoeba_accepted = 0;
+  };
+  const std::vector<Cell> cells = parallel_map(
+      num_k * reps,
+      [&](int index) {
+        const int k = config.sweep.request_counts[index / reps];
+        const int rep = index % reps;
+        Scenario scenario = base_scenario(Network::B4, k, config.sweep.seed + rep);
+        scenario.uniform_capacity = config.uniform_capacity;
+        const core::SpmInstance instance = make_instance(scenario);
+        core::ChargingPlan capacities;
+        capacities.units.assign(instance.num_edges(), config.uniform_capacity);
+        Cell cell;
+
+        const core::TaaResult taa = core::run_taa(instance, capacities);
+        if (!taa.ok()) throw std::runtime_error("fig4cd: TAA LP failed");
+        assert_feasible(instance, taa.schedule, capacities, "TAA");
+        cell.taa_revenue = taa.revenue;
+        cell.taa_accepted = taa.schedule.num_accepted();
+        cell.lp_revenue_bound = taa.lp_revenue;
+
+        const baselines::AmoebaResult amoeba = baselines::run_amoeba(instance, capacities);
+        assert_feasible(instance, amoeba.schedule, capacities, "Amoeba");
+        cell.amoeba_revenue = amoeba.revenue;
+        cell.amoeba_accepted = amoeba.accepted;
+        return cell;
+      },
+      config.sweep.threads);
+
   std::vector<Fig4cdRow> rows;
-  for (int k : config.sweep.request_counts) {
+  for (int ki = 0; ki < num_k; ++ki) {
     Fig4cdRow row;
-    row.num_requests = k;
-    for (int rep = 0; rep < config.sweep.repetitions; ++rep) {
-      Scenario scenario = base_scenario(Network::B4, k, config.sweep.seed + rep);
-      scenario.uniform_capacity = config.uniform_capacity;
-      const core::SpmInstance instance = make_instance(scenario);
-      core::ChargingPlan capacities;
-      capacities.units.assign(instance.num_edges(), config.uniform_capacity);
-
-      const core::TaaResult taa = core::run_taa(instance, capacities);
-      if (!taa.ok()) throw std::runtime_error("fig4cd: TAA LP failed");
-      assert_feasible(instance, taa.schedule, capacities, "TAA");
-      row.taa_revenue += taa.revenue;
-      row.taa_accepted += taa.schedule.num_accepted();
-      row.lp_revenue_bound += taa.lp_revenue;
-
-      const baselines::AmoebaResult amoeba = baselines::run_amoeba(instance, capacities);
-      assert_feasible(instance, amoeba.schedule, capacities, "Amoeba");
-      row.amoeba_revenue += amoeba.revenue;
-      row.amoeba_accepted += amoeba.accepted;
+    row.num_requests = config.sweep.request_counts[ki];
+    for (int rep = 0; rep < reps; ++rep) {
+      const Cell& cell = cells[ki * reps + rep];
+      row.taa_revenue += cell.taa_revenue;
+      row.taa_accepted += cell.taa_accepted;
+      row.lp_revenue_bound += cell.lp_revenue_bound;
+      row.amoeba_revenue += cell.amoeba_revenue;
+      row.amoeba_accepted += cell.amoeba_accepted;
     }
-    const int reps = config.sweep.repetitions;
     row.taa_revenue /= reps;
     row.amoeba_revenue /= reps;
     row.taa_accepted /= reps;
@@ -271,25 +358,43 @@ std::vector<Fig4cdRow> run_fig4cd(const Fig4cdConfig& config) {
 }
 
 std::vector<Fig5Row> run_fig5(const Fig5Config& config) {
+  const int reps = config.sweep.repetitions;
+  const int num_k = static_cast<int>(config.sweep.request_counts.size());
+
+  struct Cell {
+    SolutionMetrics metis, ecoflow;
+  };
+  const std::vector<Cell> cells = parallel_map(
+      num_k * reps,
+      [&](int index) {
+        const int k = config.sweep.request_counts[index / reps];
+        const int rep = index % reps;
+        const Scenario scenario = base_scenario(Network::B4, k, config.sweep.seed + rep);
+        const core::SpmInstance instance = make_instance(scenario);
+        Rng rng(scenario.seed * 9973 + 7);
+        Cell cell;
+
+        core::MetisOptions mopt;
+        mopt.theta = config.theta;
+        const core::MetisResult metis = core::run_metis(instance, rng, mopt);
+        assert_feasible(instance, metis.schedule, metis.plan, "Metis");
+        cell.metis = measure_with_plan(instance, metis.schedule, metis.plan);
+
+        const baselines::EcoFlowResult eco = baselines::run_ecoflow(instance);
+        assert_feasible(instance, eco.schedule, eco.plan, "EcoFlow");
+        cell.ecoflow = measure_with_plan(instance, eco.schedule, eco.plan);
+        return cell;
+      },
+      config.sweep.threads);
+
   std::vector<Fig5Row> rows;
-  for (int k : config.sweep.request_counts) {
+  for (int ki = 0; ki < num_k; ++ki) {
     Fig5Row row;
-    row.num_requests = k;
+    row.num_requests = config.sweep.request_counts[ki];
     MetricsAverager metis_avg, eco_avg;
-    for (int rep = 0; rep < config.sweep.repetitions; ++rep) {
-      const Scenario scenario = base_scenario(Network::B4, k, config.sweep.seed + rep);
-      const core::SpmInstance instance = make_instance(scenario);
-      Rng rng(scenario.seed * 9973 + 7);
-
-      core::MetisOptions mopt;
-      mopt.theta = config.theta;
-      const core::MetisResult metis = core::run_metis(instance, rng, mopt);
-      assert_feasible(instance, metis.schedule, metis.plan, "Metis");
-      metis_avg.add(measure_with_plan(instance, metis.schedule, metis.plan));
-
-      const baselines::EcoFlowResult eco = baselines::run_ecoflow(instance);
-      assert_feasible(instance, eco.schedule, eco.plan, "EcoFlow");
-      eco_avg.add(measure_with_plan(instance, eco.schedule, eco.plan));
+    for (int rep = 0; rep < reps; ++rep) {
+      metis_avg.add(cells[ki * reps + rep].metis);
+      eco_avg.add(cells[ki * reps + rep].ecoflow);
     }
     row.metis = metis_avg.mean();
     row.ecoflow = eco_avg.mean();

@@ -19,6 +19,11 @@ struct SweepConfig {
   std::vector<int> request_counts;
   std::uint64_t seed = 1;
   int repetitions = 3;
+  /// Worker threads for the (request-count x repetition) cell grid (0 = all
+  /// hardware threads, 1 = serial).  Every cell already owns an
+  /// independently seeded Rng, so results are identical for every thread
+  /// count; per-cell wall-clock readings naturally vary with load.
+  int threads = 0;
 };
 
 // ---- Fig. 3: Metis vs OPT(SPM) vs OPT(RL-SPM) on SUB-B4 ----------------
@@ -91,6 +96,11 @@ struct Fig4bConfig {
   /// Compute the ILP reference (warm-started branch & bound).  Disable on
   /// instances where even finding an incumbent is out of budget.
   bool ilp_reference = true;
+  /// Worker threads for the rounding-trial loop (0 = all hardware threads,
+  /// 1 = serial).  Trial t draws from `Rng::split(t)` and the ratio
+  /// statistics are accumulated serially in trial order, so every row is
+  /// byte-identical across thread counts.
+  int threads = 0;
   lp::MipOptions mip;
 };
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "sim/validate.h"
+#include "util/parallel.h"
 
 namespace metis::sim {
 
@@ -44,36 +45,52 @@ std::vector<PolicyOutcome> BillingCycleSimulator::run(
     outcomes.push_back(std::move(outcome));
   }
 
+  // One cell per (cycle, policy): the cell's Rng seed depends only on
+  // (cycle, p) and the instance only on the cycle, so the grid parallelizes
+  // with no cross-cell state.  Each cell rebuilds its cycle's instance —
+  // cheap relative to a decide() — to stay share-nothing.
+  const int num_policies = static_cast<int>(policies.size());
+  const std::vector<CycleOutcome> cells = parallel_map(
+      config_.cycles * num_policies,
+      [&](int index) {
+        const int cycle = index / num_policies;
+        const std::size_t p = static_cast<std::size_t>(index % num_policies);
+        const core::SpmInstance instance = cycle_instance(cycle);
+        Rng rng(config_.base.seed * 104729 + cycle * 31 + p * 7 + 1);
+        const auto t0 = std::chrono::steady_clock::now();
+        const Decision decision = policies[p]->decide(instance, rng);
+        const auto t1 = std::chrono::steady_clock::now();
+
+        const auto violations =
+            check_schedule(instance, decision.schedule, decision.plan);
+        if (!violations.empty()) {
+          throw std::runtime_error("simulator: policy '" + policies[p]->name() +
+                                   "' produced an infeasible decision: " +
+                                   violations.front());
+        }
+        const auto coverage =
+            check_plan_covers_schedule(instance, decision.schedule, decision.plan);
+        if (!coverage.empty()) {
+          throw std::runtime_error("simulator: policy '" + policies[p]->name() +
+                                   "' under-purchased: " + coverage.front());
+        }
+
+        CycleOutcome co;
+        co.cycle = cycle;
+        co.offered_requests = instance.num_requests();
+        co.result = core::evaluate_with_plan(instance, decision.schedule,
+                                             decision.plan);
+        co.decide_ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        return co;
+      },
+      config_.threads);
+
+  // Serial reduction in (cycle, policy) order: per-policy totals accumulate
+  // cycle-by-cycle exactly as the historical nested loop did.
   for (int cycle = 0; cycle < config_.cycles; ++cycle) {
-    const core::SpmInstance instance = cycle_instance(cycle);
-    for (std::size_t p = 0; p < policies.size(); ++p) {
-      Rng rng(config_.base.seed * 104729 + cycle * 31 + p * 7 + 1);
-      const auto t0 = std::chrono::steady_clock::now();
-      const Decision decision = policies[p]->decide(instance, rng);
-      const auto t1 = std::chrono::steady_clock::now();
-
-      const auto violations =
-          check_schedule(instance, decision.schedule, decision.plan);
-      if (!violations.empty()) {
-        throw std::runtime_error("simulator: policy '" + policies[p]->name() +
-                                 "' produced an infeasible decision: " +
-                                 violations.front());
-      }
-      const auto coverage =
-          check_plan_covers_schedule(instance, decision.schedule, decision.plan);
-      if (!coverage.empty()) {
-        throw std::runtime_error("simulator: policy '" + policies[p]->name() +
-                                 "' under-purchased: " + coverage.front());
-      }
-
-      CycleOutcome co;
-      co.cycle = cycle;
-      co.offered_requests = instance.num_requests();
-      co.result = core::evaluate_with_plan(instance, decision.schedule,
-                                           decision.plan);
-      co.decide_ms =
-          std::chrono::duration<double, std::milli>(t1 - t0).count();
-
+    for (int p = 0; p < num_policies; ++p) {
+      CycleOutcome co = cells[cycle * num_policies + p];
       PolicyOutcome& outcome = outcomes[p];
       outcome.total_profit += co.result.profit;
       outcome.total_revenue += co.result.revenue;

@@ -25,6 +25,12 @@ struct SimulationConfig {
   int cycles = 6;
   /// Fractional request-count growth per cycle (0.15 = +15% per cycle).
   double demand_growth = 0;
+  /// Worker threads for the (cycle x policy) grid (0 = all hardware
+  /// threads, 1 = serial).  Every cell owns an independently seeded Rng and
+  /// a per-cycle instance, so outcomes are byte-identical for every thread
+  /// count — and identical to the historical serial run.  `decide_ms`
+  /// readings naturally vary with machine load.
+  int threads = 0;
 };
 
 struct CycleOutcome {

@@ -1,0 +1,153 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace metis {
+
+namespace {
+
+/// True on any thread currently executing inside a parallel region: pool
+/// workers (always) and a run() caller while it participates in its own
+/// job.  Nested run() calls on such threads execute inline instead of
+/// re-entering the pool, which would self-deadlock on run_mu_ (callers) or
+/// starve waiting on workers that are all busy with the outer job.
+thread_local bool tls_in_parallel_region = false;
+
+}  // namespace
+
+int resolve_threads(int threads) {
+  if (threads >= 1) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// One parallel_for invocation.  Lives on the stack of run(); `active`
+/// (mutated under mu_) counts workers still touching the job, so run() can
+/// only return — and destroy the job — once every worker has let go.
+struct ThreadPool::Job {
+  const std::function<void(int)>* body = nullptr;
+  int n = 0;
+  std::atomic<int> next{0};       ///< next index to claim
+  std::atomic<int> remaining{0};  ///< indices not yet finished
+  std::atomic<int> slots{0};      ///< worker-participation budget left
+  int active = 0;                 ///< workers inside work_on (guarded by mu_)
+  std::exception_ptr error;       ///< first exception (guarded by error_mu)
+  std::mutex error_mu;
+};
+
+ThreadPool::ThreadPool(int threads) {
+  const int total = resolve_threads(threads);
+  workers_.reserve(total > 1 ? total - 1 : 0);
+  for (int i = 0; i + 1 < total; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+ThreadPool& ThreadPool::shared() {
+  // >= 2 threads even on single-core hosts: the parallel code paths must
+  // stay genuinely concurrent (and TSan-exercised) on every machine.
+  static ThreadPool pool(std::max(2, resolve_threads(0)));
+  return pool;
+}
+
+void ThreadPool::work_on(Job& job) {
+  while (true) {
+    const int i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.n) return;
+    try {
+      (*job.body)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.error_mu);
+      if (!job.error) job.error = std::current_exception();
+    }
+    if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_main() {
+  tls_in_parallel_region = true;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [&] {
+      return stop_ || (job_ != nullptr && job_->slots.load() > 0 &&
+                       job_->next.load() < job_->n);
+    });
+    if (stop_) return;
+    Job* job = job_;
+    if (job->slots.fetch_sub(1) <= 0) {
+      job->slots.fetch_add(1);  // lost the race for the last slot
+      continue;
+    }
+    ++job->active;
+    lock.unlock();
+    work_on(*job);
+    lock.lock();
+    --job->active;
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::run(int n, int max_workers,
+                     const std::function<void(int)>& body) {
+  if (n <= 0) return;
+  if (n == 1 || max_workers <= 1 || tls_in_parallel_region ||
+      workers_.empty()) {
+    for (int i = 0; i < n; ++i) body(i);
+    return;
+  }
+  std::lock_guard<std::mutex> serialize(run_mu_);
+  Job job;
+  job.body = &body;
+  job.n = n;
+  job.remaining.store(n);
+  // The caller participates too, so hand out one fewer worker slot; never
+  // more slots than indices (a worker with nothing to claim just spins off).
+  job.slots.store(std::min({max_workers - 1,
+                            static_cast<int>(workers_.size()), n - 1}));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+  }
+  cv_.notify_all();
+  tls_in_parallel_region = true;  // nested calls from the body run inline
+  work_on(job);
+  tls_in_parallel_region = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Wait until all indices finished AND every worker released the job;
+    // only then is the stack-allocated Job safe to destroy.  Late wakers
+    // cannot re-grab it: the wait predicate in worker_main requires
+    // next < n, which is false once the index space is drained.
+    done_cv_.wait(lock, [&] {
+      return job.remaining.load() == 0 && job.active == 0;
+    });
+    job_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+void parallel_for(int n, const std::function<void(int)>& body, int threads) {
+  const int workers = resolve_threads(threads);
+  if (n <= 0) return;
+  if (workers <= 1 || n == 1) {
+    for (int i = 0; i < n; ++i) body(i);
+    return;
+  }
+  ThreadPool::shared().run(n, workers, body);
+}
+
+}  // namespace metis

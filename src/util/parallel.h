@@ -1,0 +1,93 @@
+// Deterministic parallel execution for embarrassingly parallel loops.
+//
+// Every hot loop in the repo (MAA's best-of-N roundings, Fig. 4b's 1000
+// rounding trials, the experiment sweeps, the multi-cycle simulator) has the
+// same shape: N independent work items addressed by index.  This header
+// provides the one substrate they all share — a work-stealing-free
+// ThreadPool plus `parallel_for` / `parallel_map` — under a strict
+// determinism contract:
+//
+//   * body(i) must depend only on i and read-only captures, never on
+//     scheduling order, thread identity, or other items' results;
+//   * randomness inside body(i) must come from an index-addressed stream
+//     (`Rng::split(i)`), not from a shared generator;
+//   * reductions over the results happen serially, in index order, after
+//     the parallel section.
+//
+// Under that contract the output is bit-identical for every thread count
+// (1, 2, 8, ...), so `threads` is purely a wall-clock knob.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace metis {
+
+/// Resolves a `threads` option value: >= 1 is taken as-is, 0 (the default in
+/// every option struct) means "all hardware threads" (at least 1).
+int resolve_threads(int threads);
+
+/// A fixed-size pool of parked worker threads.  Work-stealing-free: a run is
+/// a single shared atomic index counter that caller and workers drain
+/// together, so there are no per-thread deques whose steal order could leak
+/// into observable behaviour.
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the caller is the remaining thread);
+  /// 0 = all hardware threads.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads a run can use, caller included.
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs body(i) for every i in [0, n), using at most `max_workers`
+  /// threads (caller included), and blocks until every index completed.
+  /// The first exception thrown by any body(i) is rethrown here (remaining
+  /// indices still run).  Calls from inside a pool worker (nested
+  /// parallelism) execute inline and serially — nesting is legal, never
+  /// a deadlock, and never oversubscribes.
+  void run(int n, int max_workers, const std::function<void(int)>& body);
+
+  /// The process-wide pool used by parallel_for/parallel_map.  Sized to at
+  /// least two threads even on single-core hosts so the concurrent code
+  /// paths stay genuinely concurrent (and TSan-checkable) everywhere.
+  static ThreadPool& shared();
+
+ private:
+  struct Job;
+
+  void worker_main();
+  void work_on(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;       // workers wait here for a job
+  std::condition_variable done_cv_;  // run() waits here for completion
+  std::mutex run_mu_;                // serializes concurrent run() callers
+  Job* job_ = nullptr;
+  bool stop_ = false;
+};
+
+/// Runs body(i) for i in [0, n) on the shared pool with at most `threads`
+/// workers (0 = all hardware threads, 1 = strictly inline/serial).  See the
+/// determinism contract at the top of this header.
+void parallel_for(int n, const std::function<void(int)>& body, int threads = 0);
+
+/// As parallel_for, but collects fn(i) into a vector indexed by i.  The
+/// result is identical for every thread count; reduce it serially.
+template <typename Fn>
+auto parallel_map(int n, Fn&& fn, int threads = 0)
+    -> std::vector<decltype(fn(0))> {
+  std::vector<decltype(fn(0))> out(n > 0 ? static_cast<std::size_t>(n) : 0);
+  parallel_for(
+      n, [&](int i) { out[static_cast<std::size_t>(i)] = fn(i); }, threads);
+  return out;
+}
+
+}  // namespace metis

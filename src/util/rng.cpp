@@ -31,23 +31,37 @@ double Rng::exponential(double rate) {
   return std::exponential_distribution<double>(rate)(engine_);
 }
 
+std::size_t weighted_pick(std::span<const double> weights, double draw) {
+  if (weights.empty()) {
+    throw std::invalid_argument("weighted_pick: empty weights");
+  }
+  double acc = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += std::max(weights[i], 0.0);
+    if (draw < acc) return i;
+  }
+  // Floating-point slack pushed `draw` to (or past) the total.  Fall back to
+  // the last weight that is meaningfully positive — a bare `> 0` here would
+  // let an LP residual like 1e-300 win the selection.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > kMinSamplingWeight) return i;
+  }
+  // Every weight is below the floor: the largest one is the only defensible
+  // pick (ties resolve to the lowest index for determinism).
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < weights.size(); ++i) {
+    if (weights[i] > weights[best]) best = i;
+  }
+  return best;
+}
+
 std::size_t Rng::weighted_index(std::span<const double> weights) {
   double total = 0;
   for (double w : weights) total += std::max(w, 0.0);
   if (total <= 0) {
     throw std::invalid_argument("Rng::weighted_index: no positive weight");
   }
-  double draw = uniform(0.0, total);
-  double acc = 0;
-  for (std::size_t i = 0; i < weights.size(); ++i) {
-    acc += std::max(weights[i], 0.0);
-    if (draw < acc) return i;
-  }
-  // Floating-point slack: fall back to the last positive weight.
-  for (std::size_t i = weights.size(); i-- > 0;) {
-    if (weights[i] > 0) return i;
-  }
-  return weights.size() - 1;
+  return weighted_pick(weights, uniform(0.0, total));
 }
 
 std::vector<std::size_t> Rng::permutation(std::size_t n) {
@@ -57,6 +71,18 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
   return perm;
 }
 
-Rng Rng::fork() { return Rng(engine_()); }
+std::uint64_t Rng::mix(std::uint64_t x) {
+  // SplitMix64 finalizer (Steele, Lea & Flood 2014).
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Rng Rng::split(std::uint64_t stream_id) const {
+  return Rng(mix(seed_ ^ mix(stream_id)));
+}
+
+Rng Rng::fork() { return Rng(mix(engine_())); }
 
 }  // namespace metis

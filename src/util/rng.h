@@ -13,6 +13,20 @@
 
 namespace metis {
 
+/// Smallest weight `weighted_pick`'s floating-point-slack fallback may
+/// return: an LP residual like 1e-300 is numerically "zero" and must never
+/// win a path selection just because the cumulative sum fell short of the
+/// drawn value by one ulp.
+inline constexpr double kMinSamplingWeight = 1e-12;
+
+/// Inverse-CDF pick: the first index i with draw < sum of the (clamped
+/// non-negative) weights[0..i].  When floating-point slack pushes `draw` at
+/// or past the total, falls back to the last weight above
+/// kMinSamplingWeight — or, if every weight is below the floor, the largest
+/// weight's index.  Pure function of (weights, draw); exposed separately
+/// from Rng so the fallback is directly testable.
+std::size_t weighted_pick(std::span<const double> weights, double draw);
+
 /// A thin wrapper around std::mt19937_64 with convenience draws.
 ///
 /// The wrapper exists so that (a) every component takes the same engine type,
@@ -20,7 +34,7 @@ namespace metis {
 /// across the library live in one audited place.
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed) : seed_(seed), engine_(seed) {}
 
   /// Uniform double in [lo, hi).  Requires lo <= hi.
   double uniform(double lo, double hi);
@@ -45,13 +59,34 @@ class Rng {
   /// Fisher-Yates shuffle of an index permutation [0, n).
   std::vector<std::size_t> permutation(std::size_t n);
 
-  /// Splits off an independently seeded child generator.  Used to give each
-  /// experiment repetition its own stream.
+  /// SplitMix64 finalizer: the seed-derivation mix shared by split() and
+  /// fork().  Bijective with full avalanche, so derived seeds are
+  /// decorrelated even for adjacent inputs.
+  static std::uint64_t mix(std::uint64_t x);
+
+  /// Child stream addressed by `stream_id`, derived from this generator's
+  /// *seed* only — never from its draw position.  split(i) therefore yields
+  /// the same stream no matter how many draws the parent has consumed, which
+  /// thread evaluates it, or in what order streams are requested: the
+  /// index-addressed substrate of every parallel trial loop.
+  Rng split(std::uint64_t stream_id) const;
+
+  /// Splits off an independently seeded child generator, advancing this
+  /// generator by one draw.  The raw engine draw is passed through the
+  /// SplitMix64 mix — seeding a child mt19937_64 directly from a parent
+  /// output produces measurably correlated streams.  Used to give each
+  /// experiment repetition its own stream when sequential (stateful)
+  /// semantics are wanted; prefer split() for index-addressed loops.
   Rng fork();
+
+  /// The seed this generator was constructed with (stable; split() keys
+  /// child derivation off it).
+  std::uint64_t seed() const { return seed_; }
 
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  std::uint64_t seed_;
   std::mt19937_64 engine_;
 };
 

@@ -156,6 +156,34 @@ TEST(Charging, CeilsPeakLoads) {
   EXPECT_EQ(plan.total_units(), 4);  // 2 units on each of the two used edges
 }
 
+TEST(Charging, ChargedUnitsHelperMatchesCeilingRule) {
+  // The single shared guard: ceil with a 1e-9 backoff.
+  EXPECT_EQ(charged_units(0.0), 0);
+  EXPECT_EQ(charged_units(1e-12), 0);    // below the backoff: nothing owed
+  EXPECT_EQ(charged_units(0.3), 1);
+  EXPECT_EQ(charged_units(1.0), 1);
+  EXPECT_EQ(charged_units(1.0000000001), 1);  // float-accumulation slack
+  EXPECT_EQ(charged_units(1.1), 2);
+  EXPECT_EQ(charged_units(2.0), 2);
+  EXPECT_EQ(charged_units(7.5), 8);
+}
+
+TEST(Charging, PlanUsesChargedUnitsPerEdge) {
+  // charging_from_loads and the helper must agree bit-for-bit: the Metis SP
+  // updater estimates savings with charged_units and must never drift from
+  // the billed plan.
+  const SpmInstance instance = tiny_instance();
+  Schedule s = Schedule::all_declined(3);
+  s.path_choice[0] = 0;
+  s.path_choice[1] = 1;
+  s.path_choice[2] = 0;
+  const LoadMatrix loads = compute_loads(instance, s);
+  const ChargingPlan plan = charging_from_loads(loads);
+  for (net::EdgeId e = 0; e < instance.num_edges(); ++e) {
+    EXPECT_EQ(plan.units[e], charged_units(loads.peak(e))) << "edge " << e;
+  }
+}
+
 TEST(Charging, ExactIntegerPeakNotOvercharged) {
   // A rate summing to exactly 1.0 must charge 1 unit, not 2.
   net::Topology topo(2);

@@ -1,0 +1,148 @@
+// Tests for the deterministic parallel execution layer (util/parallel.h):
+// index coverage, order-independence of parallel_map, exception
+// propagation, nested calls, and pool reuse.  Labeled `concurrency` so a
+// TSan build can run them as a dedicated stage.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace metis {
+namespace {
+
+TEST(ResolveThreads, ExplicitCountsPassThrough) {
+  EXPECT_EQ(resolve_threads(1), 1);
+  EXPECT_EQ(resolve_threads(3), 3);
+  EXPECT_EQ(resolve_threads(8), 8);
+}
+
+TEST(ResolveThreads, ZeroMeansHardwareAndAtLeastOne) {
+  EXPECT_GE(resolve_threads(0), 1);
+  EXPECT_GE(resolve_threads(-4), 1);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    const int n = 500;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    parallel_for(n, [&](int i) { hits[i].fetch_add(1); }, threads);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelFor, ZeroAndSingleItemAreFine) {
+  int calls = 0;
+  parallel_for(0, [&](int) { ++calls; }, 8);
+  EXPECT_EQ(calls, 0);
+  parallel_for(1, [&](int i) { calls += 1 + i; }, 8);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelMap, ResultIndexedByInputIndex) {
+  const auto squares = parallel_map(100, [](int i) { return i * i; }, 4);
+  ASSERT_EQ(squares.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(squares[i], i * i);
+}
+
+TEST(ParallelMap, IdenticalAcrossThreadCounts) {
+  // The determinism contract: with index-addressed streams, the output is
+  // bit-identical no matter how many workers execute the loop.
+  const Rng base(2024);
+  auto draw = [&](int i) {
+    Rng rng = base.split(static_cast<std::uint64_t>(i));
+    return rng.uniform(0, 1);
+  };
+  const auto serial = parallel_map(200, draw, 1);
+  for (int threads : {2, 8}) {
+    EXPECT_EQ(parallel_map(200, draw, threads), serial)
+        << "threads " << threads;
+  }
+}
+
+TEST(ParallelFor, FirstExceptionPropagates) {
+  EXPECT_THROW(
+      parallel_for(
+          64,
+          [](int i) {
+            if (i == 37) throw std::runtime_error("boom");
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, RemainingIndicesRunDespiteException) {
+  std::atomic<int> executed{0};
+  try {
+    parallel_for(
+        64,
+        [&](int i) {
+          executed.fetch_add(1);
+          if (i == 0) throw std::runtime_error("early");
+        },
+        4);
+    FAIL() << "expected the exception to propagate";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(executed.load(), 64);
+}
+
+TEST(ParallelFor, NestedCallsRunInlineWithoutDeadlock) {
+  const int outer = 8, inner = 16;
+  std::vector<std::atomic<int>> hits(outer * inner);
+  for (auto& h : hits) h.store(0);
+  parallel_for(
+      outer,
+      [&](int o) {
+        parallel_for(
+            inner, [&](int i) { hits[o * inner + i].fetch_add(1); }, 8);
+      },
+      8);
+  for (int i = 0; i < outer * inner; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, RunsManyJobsBackToBack) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<long long> sum{0};
+    pool.run(100, 4, [&](int i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 4950);
+  }
+}
+
+TEST(ThreadPool, HonorsWorkerCapOfOne) {
+  // max_workers=1 must run inline on the caller: observable as strictly
+  // sequential index order.
+  ThreadPool pool(4);
+  std::vector<int> order;
+  pool.run(32, 1, [&](int i) { order.push_back(i); });
+  std::vector<int> expected(32);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, SharedPoolHasAtLeastTwoThreads) {
+  // Even on single-core hosts the shared pool keeps the parallel code paths
+  // genuinely concurrent (and TSan-exercised).
+  EXPECT_GE(ThreadPool::shared().size(), 2);
+}
+
+TEST(ParallelFor, HeavilyContendedSharedCounterIsExact) {
+  // Not a determinism property — a smoke test that the pool actually runs
+  // bodies concurrently-safe and the completion barrier holds.
+  std::atomic<long long> sum{0};
+  const int n = 10000;
+  parallel_for(n, [&](int i) { sum.fetch_add(i + 1); }, 8);
+  EXPECT_EQ(sum.load(), static_cast<long long>(n) * (n + 1) / 2);
+}
+
+}  // namespace
+}  // namespace metis

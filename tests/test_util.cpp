@@ -127,6 +127,95 @@ TEST(Rng, ForkIsIndependent) {
   EXPECT_NE(c, p);
 }
 
+TEST(Rng, ForkSeedsChildThroughSplitMix) {
+  // Regression: fork() must pass the raw engine draw through the SplitMix64
+  // mix — seeding a child mt19937_64 directly from a parent output produces
+  // correlated parent/child streams.
+  Rng parent(99), probe(99);
+  const std::uint64_t draw = probe.engine()();
+  Rng child = parent.fork();
+  Rng expected(Rng::mix(draw));
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(child.uniform(0, 1), expected.uniform(0, 1));
+  }
+}
+
+TEST(Rng, ForkedChildStatisticallyDivergesFromParent) {
+  Rng parent(1234);
+  Rng child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (parent.uniform_int(0, 1000000) == child.uniform_int(0, 1000000)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, SplitStreamsAreIndependentPerId) {
+  Rng parent(7);
+  Rng a = parent.split(1);
+  Rng b = parent.split(2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.uniform_int(0, 1000000) == b.uniform_int(0, 1000000)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, SplitIsStableAcrossParentDraws) {
+  // split(i) is keyed off the parent's *seed*, not its draw position: the
+  // stream for a given id never changes, no matter how much of the parent
+  // has been consumed (the property that makes split() safe to hand out to
+  // concurrent trial workers in any order).
+  Rng parent(3);
+  Rng before = parent.split(5);
+  for (int i = 0; i < 100; ++i) (void)parent.uniform(0, 1);
+  Rng after = parent.split(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(before.uniform(0, 1), after.uniform(0, 1));
+  }
+}
+
+TEST(Rng, SplitDiffersFromParentStream) {
+  Rng parent(21);
+  Rng child = parent.split(0);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (parent.uniform_int(0, 1000000) == child.uniform_int(0, 1000000)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, WeightedPickFallbackIgnoresNegligibleWeights) {
+  // Regression: when floating-point slack pushes the draw to the total, the
+  // fallback must not return a weight that is numerically zero (an LP
+  // residual like 1e-300 must never win a path selection).
+  const std::vector<double> weights = {1.0, 1e-300};
+  const double total = 1.0 + 1e-300;  // == 1.0 in double arithmetic
+  EXPECT_EQ(weighted_pick(weights, total), 0u);
+}
+
+TEST(Rng, WeightedPickFallbackAllBelowFloorTakesLargest) {
+  const std::vector<double> weights = {1e-300, 5e-299, 2e-301};
+  EXPECT_EQ(weighted_pick(weights, 1.0), 1u);
+}
+
+TEST(Rng, WeightedPickNormalPathUnchanged) {
+  const std::vector<double> weights = {0.25, 0.5, 0.25};
+  EXPECT_EQ(weighted_pick(weights, 0.0), 0u);
+  EXPECT_EQ(weighted_pick(weights, 0.3), 1u);
+  EXPECT_EQ(weighted_pick(weights, 0.8), 2u);
+}
+
+TEST(Rng, WeightedIndexNearZeroXhatNeverPicksResidual) {
+  // A rounded LP solution can carry residual mass like 1e-300 on unused
+  // paths; over many draws the residual path must never be selected.
+  Rng rng(71);
+  const std::vector<double> weights = {1e-300, 1.0, 1e-300};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(rng.weighted_index(weights), 1u);
+  }
+}
+
 // -------------------------------------------------------------- stats ----
 
 TEST(Stats, SummarizeBasics) {
