@@ -5,10 +5,12 @@
 #include <benchmark/benchmark.h>
 
 #include "core/lp_builder.h"
+#include "core/metis.h"
 #include "lp/mip.h"
 #include "lp/presolve.h"
 #include "lp/simplex.h"
 #include "sim/scenario.h"
+#include "util/rng.h"
 
 namespace {
 
@@ -27,12 +29,18 @@ void BM_RlSpmRelaxation_B4(benchmark::State& state) {
       instance_for(static_cast<int>(state.range(0)), sim::Network::B4);
   const auto model = core::build_rl_spm(instance);
   const lp::SimplexSolver solver;
+  lp::SolveStats stats;
   for (auto _ : state) {
     const auto sol = solver.solve(model.problem);
     benchmark::DoNotOptimize(sol.objective);
+    stats = sol.stats;
   }
   state.counters["rows"] = model.problem.num_rows();
   state.counters["cols"] = model.problem.num_variables();
+  state.counters["simplex_iters"] = static_cast<double>(stats.iterations);
+  state.counters["factorizations"] = stats.factorizations;
+  state.counters["presolve_rm_rows"] = stats.presolve_removed_rows;
+  state.counters["presolve_rm_cols"] = stats.presolve_removed_cols;
 }
 BENCHMARK(BM_RlSpmRelaxation_B4)
     ->Arg(50)
@@ -48,10 +56,14 @@ void BM_BlSpmRelaxation_B4(benchmark::State& state) {
   caps.units.assign(instance.num_edges(), 10);
   const auto model = core::build_bl_spm(instance, caps);
   const lp::SimplexSolver solver;
+  lp::SolveStats stats;
   for (auto _ : state) {
     const auto sol = solver.solve(model.problem);
     benchmark::DoNotOptimize(sol.objective);
+    stats = sol.stats;
   }
+  state.counters["simplex_iters"] = static_cast<double>(stats.iterations);
+  state.counters["factorizations"] = stats.factorizations;
 }
 BENCHMARK(BM_BlSpmRelaxation_B4)
     ->Arg(50)
@@ -121,5 +133,44 @@ BENCHMARK(BM_MipExact_SubB4)
     ->Arg(20)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
+
+// The headline comparison for the warm-start work: the full Metis
+// alternation LP sequence solved with warm starts + presolve (arg1 = 1)
+// against the cold dense baseline (arg1 = 0: every relaxation solved from
+// the slack basis on the unreduced problem, the pre-sparse behaviour).
+// Convergence mode (theta = 0) runs the loop until the accepted set is
+// stable, the regime basis reuse targets: once acceptance stops changing,
+// every re-solve keeps its LP shape and warm-starts.  Compare the
+// `simplex_iters` counters between the two variants — the accelerated run
+// must need >= 3x fewer total iterations while `profit` agrees within 1e-6
+// relative (see bench/lp_solver_baseline.json for the recorded numbers).
+void BM_MetisAlternation_B4(benchmark::State& state) {
+  const bool accelerated = state.range(1) != 0;
+  const auto instance =
+      instance_for(static_cast<int>(state.range(0)), sim::Network::B4);
+  core::MetisOptions options;
+  options.theta = 0;
+  options.warm_start = accelerated;
+  options.maa.lp.presolve = accelerated;
+  options.taa.lp.presolve = accelerated;
+  core::MetisResult result;
+  for (auto _ : state) {
+    Rng rng(7);
+    result = core::run_metis(instance, rng, options);
+    benchmark::ClobberMemory();
+  }
+  state.counters["simplex_iters"] =
+      static_cast<double>(result.lp_stats.iterations);
+  state.counters["factorizations"] = result.lp_stats.factorizations;
+  state.counters["warm_starts"] = result.lp_stats.warm_starts;
+  state.counters["cold_starts"] = result.lp_stats.cold_starts;
+  state.counters["profit"] = result.best.profit;
+}
+BENCHMARK(BM_MetisAlternation_B4)
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({200, 0})
+    ->Args({200, 1})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -32,11 +32,17 @@ void BM_Metis_SubB4(benchmark::State& state) {
                                      sim::Network::SubB4);
   core::MetisOptions options;
   options.theta = 24;
+  lp::SolveStats stats;
   for (auto _ : state) {
     Rng rng(7);
     const auto result = core::run_metis(instance, rng, options);
     benchmark::DoNotOptimize(result.best.profit);
+    stats = result.lp_stats;
   }
+  state.counters["simplex_iters"] = static_cast<double>(stats.iterations);
+  state.counters["factorizations"] = stats.factorizations;
+  state.counters["warm_starts"] = stats.warm_starts;
+  state.counters["cold_starts"] = stats.cold_starts;
 }
 BENCHMARK(BM_Metis_SubB4)->Arg(20)->Arg(40)->Arg(80)->Unit(benchmark::kMillisecond);
 
@@ -61,11 +67,14 @@ BENCHMARK(BM_OptSpm_SubB4)
 void BM_Maa_B4(benchmark::State& state) {
   const auto instance =
       instance_for(static_cast<int>(state.range(0)), sim::Network::B4);
+  lp::SolveStats stats;
   for (auto _ : state) {
     Rng rng(7);
     const auto result = core::run_maa(instance, rng);
     benchmark::DoNotOptimize(result.cost);
+    stats = result.lp_stats;
   }
+  state.counters["simplex_iters"] = static_cast<double>(stats.iterations);
 }
 BENCHMARK(BM_Maa_B4)->Arg(100)->Arg(200)->Arg(400)->Unit(benchmark::kMillisecond);
 
@@ -74,10 +83,13 @@ void BM_Taa_B4(benchmark::State& state) {
       instance_for(static_cast<int>(state.range(0)), sim::Network::B4);
   core::ChargingPlan caps;
   caps.units.assign(instance.num_edges(), 10);
+  lp::SolveStats stats;
   for (auto _ : state) {
     const auto result = core::run_taa(instance, caps);
     benchmark::DoNotOptimize(result.revenue);
+    stats = result.lp_stats;
   }
+  state.counters["simplex_iters"] = static_cast<double>(stats.iterations);
 }
 BENCHMARK(BM_Taa_B4)->Arg(100)->Arg(200)->Arg(400)->Unit(benchmark::kMillisecond);
 

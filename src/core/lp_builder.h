@@ -17,6 +17,18 @@
 //   SPM     (max profit, everything free):
 //       max  sum_i v_i sum_j x_{i,j} - sum_e u_e c_e
 //       s.t. sum_j x_{i,j} <= 1;  load(e,t) - c_e <= 0
+//
+// Ordering contract (load-bearing for warm starts): for a fixed instance
+// and accepted set, every builder emits columns and rows in a fixed
+// deterministic order — x columns per accepted request in index order,
+// path-major, then c columns per edge; assignment rows before capacity
+// rows per (edge, slot).  Two builds over the same accepted set therefore
+// produce identically-shaped LinearProblems, which is what lets a
+// lp::Basis snapshot from one solve warm-start the next (Metis carries one
+// across alternation iterations; see MaaOptions/TaaOptions::warm_basis).
+// Changing the accepted set changes the shape, and the solver falls back
+// to a cold start on its own — never rely on column indices surviving an
+// acceptance change.
 #pragma once
 
 #include <vector>

@@ -59,8 +59,10 @@ MaaResult run_maa(const SpmInstance& instance, const std::vector<bool>& accepted
   MaaResult result;
   const SpmModel model = build_rl_spm(instance, accepted);
   const lp::SimplexSolver solver(options.lp);
-  const lp::LpSolution relaxed = solver.solve(model.problem);
+  const lp::LpSolution relaxed =
+      solver.solve(model.problem, options.warm_basis);
   result.status = relaxed.status;
+  result.lp_stats = relaxed.stats;
   if (!relaxed.ok()) return result;
   result.lp_cost = relaxed.objective;
 

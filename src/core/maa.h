@@ -35,6 +35,12 @@ struct MaaOptions {
   /// behaviour.  See docs/ALGORITHMS.md §"Parallel execution".
   int threads = 0;
   lp::SimplexOptions lp;
+  /// Optional basis-reuse slot: when non-null, the relaxation warm-starts
+  /// from *warm_basis and writes the optimal basis back (see Basis in
+  /// lp/types.h).  Metis's alternation loop points this at a basis it
+  /// carries across iterations; the LP column order is stable for a fixed
+  /// accepted set (see lp_builder.h), so re-solves start near-optimal.
+  lp::Basis* warm_basis = nullptr;
 };
 
 struct MaaResult {
@@ -49,7 +55,11 @@ struct MaaResult {
   double cost = 0;
   /// alpha = min positive fractional ĉ_e (drives the (alpha+1)/alpha bound).
   double alpha = 0;
+  /// Work counters of the relaxation solve (aggregatable via +=).
+  lp::SolveStats lp_stats;
 
+  /// False when the relaxation did not reach optimality; `status` says why
+  /// (Infeasible vs IterationLimit vs numerical NotSolved).
   bool ok() const { return status == lp::SolveStatus::Optimal; }
 };
 

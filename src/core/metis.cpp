@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <limits>
 #include <stdexcept>
 
 #include "util/log.h"
@@ -30,17 +32,63 @@ int trim_min_utilization_link(const SpmInstance& instance, const Schedule& sched
 
 namespace {
 
-/// Charging saved on edge e if `rate` were removed from slots
-/// [start, end] of `loads`.
-double removal_saving(const SpmInstance& instance, const LoadMatrix& loads,
-                      net::EdgeId e, int start, int end, double rate) {
-  double peak_with = 0, peak_without = 0;
-  for (int t = 0; t < instance.num_slots(); ++t) {
-    const double load = loads.at(e, t);
-    peak_with = std::max(peak_with, load);
-    const bool in_window = t >= start && t <= end;
-    peak_without = std::max(peak_without, in_window ? load - rate : load);
+/// Range-max over one edge's per-slot loads with point updates.  The prune
+/// fixed point queries every accepted request's path edges each round, so
+/// the old full slot rescan made a round O(K * |path| * T); the tree makes
+/// each query O(log T).  Leaves copy LoadMatrix values verbatim, and
+/// correctly-rounded subtraction is monotone, so subtracting the rate from
+/// the window's max equals the old per-slot subtract-then-max bit for bit —
+/// prune decisions are unchanged (test_metis pins this equivalence).
+class PeakTree {
+ public:
+  PeakTree(const LoadMatrix& loads, net::EdgeId e, int slots)
+      : n_(std::max(1, slots)), tree_(2 * static_cast<std::size_t>(n_), kNone) {
+    for (int t = 0; t < slots; ++t) tree_[n_ + t] = loads.at(e, t);
+    for (int i = n_ - 1; i >= 1; --i) {
+      tree_[i] = std::max(tree_[2 * i], tree_[2 * i + 1]);
+    }
   }
+
+  void set(int pos, double value) {
+    int i = n_ + pos;
+    tree_[i] = value;
+    for (i /= 2; i >= 1; i /= 2) {
+      tree_[i] = std::max(tree_[2 * i], tree_[2 * i + 1]);
+    }
+  }
+
+  /// Max over slots [lo, hi] (inclusive); -infinity when empty.
+  double max_range(int lo, int hi) const {
+    double best = kNone;
+    for (int l = n_ + lo, r = n_ + hi + 1; l < r; l /= 2, r /= 2) {
+      if (l & 1) best = std::max(best, tree_[l++]);
+      if (r & 1) best = std::max(best, tree_[--r]);
+    }
+    return best;
+  }
+
+  double max_all() const { return tree_[1]; }
+
+ private:
+  static constexpr double kNone = -std::numeric_limits<double>::infinity();
+  int n_;
+  std::vector<double> tree_;
+};
+
+/// Charging saved on edge e if `rate` were removed from slots [start, end],
+/// evaluated against the peaks tree of that edge.
+double removal_saving(const SpmInstance& instance, const PeakTree& peaks,
+                      net::EdgeId e, int start, int end, double rate) {
+  const double peak_with = std::max(0.0, peaks.max_all());
+  double peak_without = 0;
+  if (start > 0) {
+    peak_without = std::max(peak_without, peaks.max_range(0, start - 1));
+  }
+  const int last = instance.num_slots() - 1;
+  if (end < last) {
+    peak_without = std::max(peak_without, peaks.max_range(end + 1, last));
+  }
+  peak_without = std::max(peak_without, peaks.max_range(start, end) - rate);
   return instance.topology().edge(e).price *
          (charged_units(peak_with) - charged_units(peak_without));
 }
@@ -50,6 +98,11 @@ double removal_saving(const SpmInstance& instance, const LoadMatrix& loads,
 int prune_unprofitable(const SpmInstance& instance, Schedule& schedule) {
   validate_shape(instance, schedule);
   LoadMatrix loads = compute_loads(instance, schedule);
+  std::vector<PeakTree> peaks;
+  peaks.reserve(instance.num_edges());
+  for (net::EdgeId e = 0; e < instance.num_edges(); ++e) {
+    peaks.emplace_back(loads, e, instance.num_slots());
+  }
   int pruned = 0;
   bool changed = true;
   while (changed) {
@@ -63,8 +116,8 @@ int prune_unprofitable(const SpmInstance& instance, Schedule& schedule) {
       const workload::Request& r = instance.request(i);
       double saving = 0;
       for (net::EdgeId e : instance.paths(i)[j].edges) {
-        saving += removal_saving(instance, loads, e, r.start_slot, r.end_slot,
-                                 r.rate);
+        saving += removal_saving(instance, peaks[e], e, r.start_slot,
+                                 r.end_slot, r.rate);
       }
       const double margin = r.value - saving;
       if (margin < worst_margin) {
@@ -77,6 +130,7 @@ int prune_unprofitable(const SpmInstance& instance, Schedule& schedule) {
       for (net::EdgeId e : instance.paths(worst)[schedule.path_choice[worst]].edges) {
         for (int t = r.start_slot; t <= r.end_slot; ++t) {
           loads.add(e, t, -r.rate);
+          peaks[e].set(t, loads.at(e, t));
         }
       }
       schedule.path_choice[worst] = kDeclined;
@@ -199,11 +253,26 @@ MetisResult run_metis(const SpmInstance& instance, Rng& rng,
     return pb;
   };
 
+  // Basis snapshots carried across loops.  While the accepted set is
+  // stable the RL-SPM/BL-SPM LPs keep their shape (lp_builder's column
+  // order is a function of the accepted set alone), so each re-solve
+  // warm-starts from the previous optimum; when acceptance shrinks the
+  // shape changes and the solver silently falls back to a cold start.
+  lp::Basis maa_basis, taa_basis;
+  MaaOptions maa_options = options.maa;
+  TaaOptions taa_options = options.taa;
+  if (options.warm_start) {
+    maa_options.warm_basis = &maa_basis;
+    taa_options.warm_basis = &taa_basis;
+  }
+
   for (int loop = 0; loop < max_loops; ++loop) {
     MetisIteration iter;
 
     // RL-SPM Solver: minimal-cost routing of the current accepted set.
-    const MaaResult maa = run_maa(instance, accepted, rng, options.maa);
+    const MaaResult maa = run_maa(instance, accepted, rng, maa_options);
+    result.maa_status = maa.status;
+    result.lp_stats += maa.lp_stats;
     if (!maa.ok()) {
       METIS_LOG_WARN << "Metis: MAA failed with status "
                      << lp::to_string(maa.status);
@@ -222,7 +291,9 @@ MetisResult run_metis(const SpmInstance& instance, Rng& rng,
     }
 
     // BL-SPM Solver: best revenue under the limited bandwidth.
-    const TaaResult taa = run_taa(instance, limited, accepted, options.taa);
+    const TaaResult taa = run_taa(instance, limited, accepted, taa_options);
+    result.taa_status = taa.status;
+    result.lp_stats += taa.lp_stats;
     if (!taa.ok()) {
       METIS_LOG_WARN << "Metis: TAA failed with status "
                      << lp::to_string(taa.status);

@@ -56,6 +56,12 @@ struct MetisOptions {
     return options;
   }();
   TaaOptions taa;
+  /// Carry a simplex basis across alternation iterations: the RL-SPM and
+  /// BL-SPM re-solves warm-start from the previous loop's optimal basis
+  /// whenever the accepted set (and hence the LP shape) is unchanged, and
+  /// silently cold-start otherwise.  Off reproduces all-cold solves (the
+  /// ablation baseline measured by bench_lp_solver).
+  bool warm_start = true;
 };
 
 /// One loop's bookkeeping (for convergence plots and the theta ablation).
@@ -72,6 +78,14 @@ struct MetisResult {
   ChargingPlan plan;      ///< bandwidth purchase decision
   std::vector<MetisIteration> history;
   int iterations_run = 0;
+  /// Status of the last inner MAA / TAA solve.  When the loop stops early
+  /// because a relaxation failed, these distinguish an infeasible LP from
+  /// an iteration-limited or numerically failed one (NotSolved means the
+  /// corresponding stage never ran).
+  lp::SolveStatus maa_status = lp::SolveStatus::NotSolved;
+  lp::SolveStatus taa_status = lp::SolveStatus::NotSolved;
+  /// LP work aggregated over every relaxation solved by the loop.
+  lp::SolveStats lp_stats;
 };
 
 /// BW Limiter: among edges with plan.units > 0, reduces the one whose

@@ -54,8 +54,10 @@ TaaResult run_taa(const SpmInstance& instance, const ChargingPlan& capacities,
   bl_options.cost_weight = options.cost_weight;
   const SpmModel model = build_bl_spm(instance, capacities, accepted, bl_options);
   const lp::SimplexSolver solver(options.lp);
-  const lp::LpSolution relaxed = solver.solve(model.problem);
+  const lp::LpSolution relaxed =
+      solver.solve(model.problem, options.warm_basis);
   result.status = relaxed.status;
+  result.lp_stats = relaxed.stats;
   if (!relaxed.ok()) return result;
   result.lp_revenue = relaxed.objective;
 
@@ -177,6 +179,7 @@ SplittableResult run_splittable_bl_spm(const SpmInstance& instance,
   const SpmModel model = build_bl_spm(instance, capacities, accepted);
   const lp::LpSolution relaxed = lp::SimplexSolver().solve(model.problem);
   result.status = relaxed.status;
+  result.lp_stats = relaxed.stats;
   if (!relaxed.ok()) return result;
   result.revenue = relaxed.objective;
   result.flow.resize(instance.num_requests());

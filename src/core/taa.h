@@ -38,6 +38,10 @@ struct TaaOptions {
   /// no longer an upper bound on revenue.
   double cost_weight = 0;
   lp::SimplexOptions lp;
+  /// Optional basis-reuse slot for the BL-SPM relaxation (see
+  /// MaaOptions::warm_basis): consecutive Metis iterations re-solve the
+  /// same-shaped LP with only capacities/acceptance perturbed.
+  lp::Basis* warm_basis = nullptr;
 };
 
 struct TaaResult {
@@ -50,7 +54,11 @@ struct TaaResult {
   double revenue_floor = 0;  ///< I_B denormalized (the Theorem 6 target)
   int walk_accepted = 0;     ///< accepted by the tree walk itself
   int augment_accepted = 0;  ///< additionally accepted by augmentation
+  /// Work counters of the relaxation solve (aggregatable via +=).
+  lp::SolveStats lp_stats;
 
+  /// False when the relaxation did not reach optimality; `status` says why
+  /// (Infeasible vs IterationLimit vs numerical NotSolved).
   bool ok() const { return status == lp::SolveStatus::Optimal; }
 };
 
@@ -70,6 +78,7 @@ struct SplittableResult {
   lp::SolveStatus status = lp::SolveStatus::NotSolved;
   double revenue = 0;                     ///< optimal splittable revenue
   std::vector<std::vector<double>> flow;  ///< [request][path] fractions
+  lp::SolveStats lp_stats;                ///< work counters of the solve
   bool ok() const { return status == lp::SolveStatus::Optimal; }
 };
 

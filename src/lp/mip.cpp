@@ -122,7 +122,13 @@ MipResult MipSolver::solve(const LinearProblem& problem,
   }
 
   // --- Root node ---
-  LpSolution root = lp.solve(work);
+  // One basis snapshot threads through the whole tree: each node tries to
+  // warm-start from the most recent optimal basis (parent or sibling —
+  // usually one bound change away) and silently cold-starts when the
+  // snapshot is not primal feasible under the node's bounds.
+  Basis basis;
+  LpSolution root = lp.solve(work, &basis);
+  result.lp_stats += root.stats;
   if (root.status == SolveStatus::Infeasible) {
     result.status = SolveStatus::Infeasible;
     return result;
@@ -217,8 +223,9 @@ MipResult MipSolver::solve(const LinearProblem& problem,
     ++result.nodes;
 
     apply(node.changes);
-    LpSolution sol = lp.solve(work);
+    LpSolution sol = lp.solve(work, &basis);
     restore(node.changes);
+    result.lp_stats += sol.stats;
 
     if (sol.status == SolveStatus::Infeasible) continue;
     if (sol.status != SolveStatus::Optimal) {

@@ -92,6 +92,107 @@ std::vector<double> PresolveResult::restore(
   return x;
 }
 
+LpSolution PresolveResult::postsolve(const LinearProblem& original,
+                                     const LpSolution& reduced_sol,
+                                     double tol) const {
+  LpSolution out;
+  out.status = reduced_sol.status;
+  out.iterations = reduced_sol.iterations;
+  out.stats = reduced_sol.stats;
+  if (reduced_sol.status != SolveStatus::Optimal) return out;
+
+  out.x = restore(reduced_sol.x);
+  out.objective = original.objective_value(out.x);
+
+  // Duals, working in minimization form (duals are reported in the
+  // problem's own sense, so flip on the way in and out for Maximize).
+  const double sign = original.sense() == Sense::Minimize ? 1.0 : -1.0;
+  std::vector<double> y(original.num_rows(), 0.0);
+  for (int r = 0; r < original.num_rows(); ++r) {
+    if (row_map[r] >= 0) y[r] = sign * reduced_sol.duals.at(row_map[r]);
+  }
+
+  // Column view of the original matrix for reduced-cost evaluation.
+  std::vector<std::vector<std::pair<int, double>>> col_rows(
+      original.num_variables());
+  for (int r = 0; r < original.num_rows(); ++r) {
+    for (const RowEntry& e : original.row(r).entries) {
+      col_rows[e.col].emplace_back(r, e.coef);
+    }
+  }
+
+  // Replay eliminated singleton rows newest-first.  A row whose folded-in
+  // bound supports the optimum (x rests on it) is active in the original
+  // problem; its multiplier absorbs the column's remaining reduced cost,
+  // provided the resulting sign is admissible for the row type — when two
+  // folds pin the same column from both sides, the sign guard routes the
+  // reduced cost to whichever row direction actually supports it.
+  for (auto it = eliminated_singletons.rbegin();
+       it != eliminated_singletons.rend(); ++it) {
+    const int j = it->col;
+    const double atol = 1e-6 * (1.0 + std::abs(it->bound));
+    if (std::abs(out.x[j] - it->bound) > atol) continue;  // slack row: y = 0
+    double d = sign * original.objective_coef(j);
+    for (const auto& [r, a] : col_rows[j]) d -= y[r] * a;
+    const double cand = d / it->coef;
+    const RowType type = original.row(it->row).type;
+    const bool sign_ok =
+        type == RowType::Equal ||
+        (type == RowType::LessEqual && cand <= tol) ||
+        (type == RowType::GreaterEqual && cand >= -tol);
+    if (sign_ok) y[it->row] = cand;
+  }
+
+  out.duals.resize(original.num_rows());
+  for (int r = 0; r < original.num_rows(); ++r) out.duals[r] = sign * y[r];
+  return out;
+}
+
+Basis PresolveResult::lift_basis(const LinearProblem& original,
+                                 const Basis& reduced_basis) const {
+  Basis out;
+  if (reduced_basis.empty()) return out;
+  if (!reduced_basis.compatible(reduced.num_variables(), reduced.num_rows())) {
+    return out;
+  }
+  const int n = original.num_variables();
+  const int m = original.num_rows();
+  out.status.assign(n + m, BasisStatus::AtLower);
+  for (int j = 0; j < n; ++j) {
+    if (col_map[j] >= 0) {
+      out.status[j] = reduced_basis.status[col_map[j]];
+      continue;
+    }
+    // Eliminated column: rest it at the original bound matching its fixed
+    // value.  A value interior to the original bounds (pinned by a folded
+    // equality row) has no nonbasic resting status that reproduces it; the
+    // nearest bound keeps the snapshot well-formed and the warm-start
+    // feasibility check decides whether it is still usable.
+    const double lb = original.lower_bound(j);
+    const double ub = original.upper_bound(j);
+    const double v = fixed_value[j];
+    if (std::isfinite(lb) &&
+        (!std::isfinite(ub) || std::abs(v - lb) <= std::abs(v - ub))) {
+      out.status[j] = BasisStatus::AtLower;
+    } else if (std::isfinite(ub)) {
+      out.status[j] = BasisStatus::AtUpper;
+    } else {
+      out.status[j] = BasisStatus::Free;
+    }
+  }
+  for (int r = 0; r < m; ++r) {
+    // Slacks of eliminated rows become basic: the basis matrix gains an
+    // identity block on those rows, so nonsingularity of the reduced basis
+    // carries over, and a folded row is satisfied at the lifted point so
+    // its basic slack lands within bounds.
+    out.status[n + r] = row_map[r] >= 0
+                            ? reduced_basis.status[reduced.num_variables() +
+                                                   row_map[r]]
+                            : BasisStatus::Basic;
+  }
+  return out;
+}
+
 std::vector<int> PresolveResult::map_columns(
     const std::vector<int>& original_cols) const {
   std::vector<int> out;
@@ -161,7 +262,8 @@ PresolveResult presolve(const LinearProblem& problem, double tol) {
       changed = true;
     }
     // Rows: empty-row verdicts and singleton-row bound tightening.
-    for (auto& row : w.rows) {
+    for (int r = 0; r < static_cast<int>(w.rows.size()); ++r) {
+      auto& row = w.rows[r];
       if (!row.alive) continue;
       if (row.entries.empty()) {
         if (!empty_row_feasible(row, tol)) {
@@ -176,6 +278,7 @@ PresolveResult presolve(const LinearProblem& problem, double tol) {
         const int col = row.entries[0].col;
         const double a = row.entries[0].coef;
         const double bound = row.rhs / a;
+        result.eliminated_singletons.push_back({r, col, a, bound});
         // a*x <= rhs  =>  x <= bound (a>0) or x >= bound (a<0); etc.
         const bool tighten_upper =
             (row.type == RowType::LessEqual && a > 0) ||

@@ -7,9 +7,14 @@
 //   * empty columns are fixed at their objective-optimal bound.
 //
 // The result is a smaller problem plus the bookkeeping needed to lift a
-// reduced solution back to the original variable space.  Dual values are
-// NOT reconstructed — presolve targets primal solves (branch & bound nodes,
-// heuristics); solve the original problem when duals are needed.
+// reduced solution back to the original variable space.  `postsolve`
+// recovers the FULL primal and dual vectors: eliminated singleton rows are
+// replayed in reverse elimination order, and any row whose folded-in bound
+// supports the optimum at a presolve-tightened bound receives the reduced
+// cost of its column as its multiplier — the lifted solution satisfies the
+// original problem's KKT conditions (test_lp_presolve certifies this).
+// SimplexSolver runs this pipeline internally by default; see
+// SimplexOptions::presolve for the bypass conditions.
 #pragma once
 
 #include <vector>
@@ -37,8 +42,32 @@ struct PresolveResult {
   int removed_columns = 0;
   int removed_rows = 0;
 
+  /// One eliminated singleton row (in elimination order): `a * x[col]` vs
+  /// `rhs` folded into a bound `rhs / a` on `col`.  Replayed in reverse by
+  /// `postsolve` to reconstruct the row's dual multiplier.
+  struct SingletonRow {
+    int row = -1;
+    int col = -1;
+    double coef = 0;
+    double bound = 0;   ///< rhs / coef, the bound folded into the column
+  };
+  std::vector<SingletonRow> eliminated_singletons;
+
   /// Lifts a reduced-space solution back to the original columns.
   std::vector<double> restore(const std::vector<double>& reduced_x) const;
+
+  /// Lifts a full reduced-space LpSolution (primal, duals, objective) back
+  /// to `original`'s space.  Non-Optimal solutions pass through with empty
+  /// primal/dual vectors.  The returned objective is recomputed from the
+  /// restored x to wash out reduction round-off.
+  LpSolution postsolve(const LinearProblem& original,
+                       const LpSolution& reduced_sol, double tol = 1e-7) const;
+
+  /// Lifts a basis snapshot of the reduced problem into `original`'s column
+  /// space: surviving columns/slacks keep their status, eliminated columns
+  /// rest at the bound equal to their fixed value, and slacks of eliminated
+  /// rows become basic (an always-nonsingular, primal-feasible completion).
+  Basis lift_basis(const LinearProblem& original, const Basis& reduced) const;
 
   /// Maps original column indices (e.g. an integrality list) into reduced
   /// space, dropping eliminated ones.

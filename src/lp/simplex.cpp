@@ -1,11 +1,14 @@
 #include "lp/simplex.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <map>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
+#include "lp/presolve.h"
 #include "util/log.h"
 
 namespace metis::lp {
@@ -29,18 +32,205 @@ struct Tableau {
   std::vector<double> lb, ub, value;
   std::vector<VarStatus> status;
   std::vector<double> b;       // row rhs
-  std::vector<int> basis;      // basis[i] = column basic in row i
-  std::vector<int> basis_row;  // basis_row[j] = row of basic column j, or -1
-  std::vector<double> binv;    // dense m x m row-major basis inverse
+  std::vector<int> basis;      // basis[k] = column basic at position k
+  std::vector<int> basis_row;  // basis_row[j] = position of basic col j, or -1
   std::vector<int> artificials;
-
-  double& inv(int i, int k) { return binv[static_cast<std::size_t>(i) * m + k]; }
-  double inv(int i, int k) const {
-    return binv[static_cast<std::size_t>(i) * m + k];
-  }
 
   int num_cols() const { return static_cast<int>(cols.size()); }
   bool is_fixed(int j) const { return lb[j] == ub[j]; }
+};
+
+/// Sparse LU factorization of the basis (left-looking elimination with
+/// partial pivoting; deterministic ties to the smallest row index) plus a
+/// product-form eta file appended per pivot between refactorizations.
+///
+/// The factorization satisfies  P * (prod_j Lhat_j) * B = U  where Lhat_j
+/// is the elementary elimination of pivot j, P gathers pivot rows into
+/// basis-position order, and U is upper triangular in position space, so
+///   FTRAN: w = B^{-1} a = U^{-1} P (prod Lhat) a   then forward etas,
+///   BTRAN: y = B^{-T} c  via reverse transposed etas, forward U^T-solve,
+///          scatter through P^T, backward transposed Lhat application.
+/// FTRAN results are indexed by basis position; BTRAN results by row.
+class BasisFactor {
+ public:
+  /// Factorizes the columns `basis[k]` of `t`.  Clears the eta file.
+  /// Returns false when the basis is numerically singular.
+  bool factorize(const Tableau& t, const std::vector<int>& basis) {
+    m_ = static_cast<int>(basis.size());
+    lcols_.assign(m_, {});
+    ucols_.assign(m_, {});
+    pivot_row_.assign(m_, -1);
+    etas_.clear();
+    std::vector<int> pivot_pos(m_, -1);  // row -> pivot position, or -1
+    std::vector<double> x(m_, 0.0);
+    std::vector<char> seen(m_, 0);
+    std::vector<int> touched;
+    touched.reserve(m_);
+    const auto touch = [&](int r) {
+      if (!seen[r]) {
+        seen[r] = 1;
+        touched.push_back(r);
+      }
+    };
+    for (int k = 0; k < m_; ++k) {
+      const Column& col = t.cols[basis[k]];
+      for (std::size_t i = 0; i < col.row.size(); ++i) {
+        x[col.row[i]] = col.coef[i];
+        touch(col.row[i]);
+      }
+      // Left-looking: apply earlier pivots in order; the value sitting on
+      // pivot row j right before its elimination is exactly U's entry u_jk.
+      UCol& u = ucols_[k];
+      for (int j = 0; j < k; ++j) {
+        const double xr = x[pivot_row_[j]];
+        if (xr == 0.0) continue;
+        u.pos.push_back(j);
+        u.val.push_back(xr);
+        const LCol& l = lcols_[j];
+        for (std::size_t i = 0; i < l.row.size(); ++i) {
+          x[l.row[i]] -= l.mult[i] * xr;
+          touch(l.row[i]);
+        }
+      }
+      // Partial pivoting over rows not yet claimed by an earlier pivot.
+      int piv = -1;
+      double best = 0.0;
+      for (int r : touched) {
+        if (pivot_pos[r] >= 0) continue;
+        const double a = std::abs(x[r]);
+        if (a > best || (a == best && a > 0.0 && r < piv)) {
+          best = a;
+          piv = r;
+        }
+      }
+      if (piv < 0 || best < kSingularTol) {
+        for (int r : touched) {
+          x[r] = 0.0;
+          seen[r] = 0;
+        }
+        return false;
+      }
+      pivot_row_[k] = piv;
+      pivot_pos[piv] = k;
+      u.diag = x[piv];
+      LCol& l = lcols_[k];
+      for (int r : touched) {
+        if (pivot_pos[r] >= 0 || x[r] == 0.0) continue;
+        l.row.push_back(r);
+        l.mult.push_back(x[r] / u.diag);
+      }
+      for (int r : touched) {
+        x[r] = 0.0;
+        seen[r] = 0;
+      }
+      touched.clear();
+    }
+    return true;
+  }
+
+  /// Solves B z = w.  `w` arrives in row space (and is clobbered); `z`
+  /// leaves in basis-position space.
+  void ftran(std::vector<double>& w, std::vector<double>& z) const {
+    for (int j = 0; j < m_; ++j) {
+      const double xr = w[pivot_row_[j]];
+      if (xr == 0.0) continue;
+      const LCol& l = lcols_[j];
+      for (std::size_t i = 0; i < l.row.size(); ++i) {
+        w[l.row[i]] -= l.mult[i] * xr;
+      }
+    }
+    z.assign(m_, 0.0);
+    for (int k = 0; k < m_; ++k) z[k] = w[pivot_row_[k]];
+    for (int k = m_ - 1; k >= 0; --k) {
+      if (z[k] == 0.0) continue;
+      z[k] /= ucols_[k].diag;
+      const UCol& u = ucols_[k];
+      for (std::size_t i = 0; i < u.pos.size(); ++i) {
+        z[u.pos[i]] -= u.val[i] * z[k];
+      }
+    }
+    for (const Eta& e : etas_) {
+      const double zr = z[e.r] / e.pivot;
+      if (zr != 0.0) {
+        for (std::size_t i = 0; i < e.idx.size(); ++i) {
+          z[e.idx[i]] -= e.val[i] * zr;
+        }
+      }
+      z[e.r] = zr;
+    }
+  }
+
+  /// Solves B^T y = z.  `z` arrives in basis-position space (and is
+  /// clobbered); `y` leaves in row space.
+  void btran(std::vector<double>& z, std::vector<double>& y) const {
+    for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+      double acc = z[it->r];
+      for (std::size_t i = 0; i < it->idx.size(); ++i) {
+        acc -= it->val[i] * z[it->idx[i]];
+      }
+      z[it->r] = acc / it->pivot;
+    }
+    for (int k = 0; k < m_; ++k) {
+      double acc = z[k];
+      const UCol& u = ucols_[k];
+      for (std::size_t i = 0; i < u.pos.size(); ++i) {
+        acc -= u.val[i] * z[u.pos[i]];
+      }
+      z[k] = acc / ucols_[k].diag;
+    }
+    y.assign(m_, 0.0);
+    for (int k = 0; k < m_; ++k) y[pivot_row_[k]] = z[k];
+    for (int j = m_ - 1; j >= 0; --j) {
+      const LCol& l = lcols_[j];
+      double acc = y[pivot_row_[j]];
+      for (std::size_t i = 0; i < l.row.size(); ++i) {
+        acc -= l.mult[i] * y[l.row[i]];
+      }
+      y[pivot_row_[j]] = acc;
+    }
+  }
+
+  /// Records the basis change at position `r` with FTRAN spike `w`
+  /// (position space): new B = old B * E where E's column r is w.
+  void push_eta(int r, const std::vector<double>& w) {
+    Eta e;
+    e.r = r;
+    e.pivot = w[r];
+    for (int i = 0; i < m_; ++i) {
+      if (i != r && w[i] != 0.0) {
+        e.idx.push_back(i);
+        e.val.push_back(w[i]);
+      }
+    }
+    etas_.push_back(std::move(e));
+  }
+
+  int eta_count() const { return static_cast<int>(etas_.size()); }
+
+ private:
+  static constexpr double kSingularTol = 1e-12;
+
+  struct LCol {  // elimination multipliers of one pivot, by original row
+    std::vector<int> row;
+    std::vector<double> mult;
+  };
+  struct UCol {  // strictly-upper entries (by pivot position) + diagonal
+    std::vector<int> pos;
+    std::vector<double> val;
+    double diag = 0;
+  };
+  struct Eta {  // product-form update at position r with spike (idx, val)
+    int r = 0;
+    double pivot = 0;
+    std::vector<int> idx;
+    std::vector<double> val;
+  };
+
+  int m_ = 0;
+  std::vector<LCol> lcols_;
+  std::vector<UCol> ucols_;
+  std::vector<int> pivot_row_;  // pivot_row_[k] = original row of pivot k
+  std::vector<Eta> etas_;
 };
 
 /// Builds sparse columns from the row-wise LinearProblem, merging duplicate
@@ -113,6 +303,24 @@ double resting_value(VarStatus s, double lb, double ub) {
   }
 }
 
+/// Maps a snapshot status onto a legal resting status for bounds [lb, ub]
+/// (a snapshot from a differently-bounded problem may name an infinite
+/// bound; fall back to the standard resting choice rather than reject).
+VarStatus remap_status(BasisStatus s, double lb, double ub) {
+  switch (s) {
+    case BasisStatus::Basic:
+      return VarStatus::Basic;
+    case BasisStatus::AtLower:
+      return std::isfinite(lb) ? VarStatus::AtLower : initial_status(lb, ub);
+    case BasisStatus::AtUpper:
+      return std::isfinite(ub) ? VarStatus::AtUpper : initial_status(lb, ub);
+    case BasisStatus::Free:
+      return (std::isfinite(lb) || std::isfinite(ub)) ? initial_status(lb, ub)
+                                                      : VarStatus::Free;
+  }
+  return VarStatus::Free;
+}
+
 class Engine {
  public:
   Engine(const LinearProblem& p, const SimplexOptions& opt) : opt_(opt) {
@@ -129,37 +337,77 @@ class Engine {
     }
   }
 
-  LpSolution run() {
+  /// Attempts to adopt a basis snapshot: shape-compatible, exactly m basic
+  /// columns, factorizable, and the implied basic values within bounds.
+  /// On rejection the engine is left for init_basis() to (re)set.
+  bool try_warm_start(const Basis& snapshot) {
+    if (!snapshot.compatible(t_.n_struct, t_.m)) return false;
+    const int total = t_.num_cols();
+    std::vector<VarStatus> status(total);
+    std::vector<int> basic;
+    basic.reserve(t_.m);
+    for (int j = 0; j < total; ++j) {
+      status[j] = remap_status(snapshot.status[j], t_.lb[j], t_.ub[j]);
+      if (status[j] == VarStatus::Basic) basic.push_back(j);
+    }
+    if (static_cast<int>(basic.size()) != t_.m) return false;
+    if (!factor_.factorize(t_, basic)) return false;
+    ++factorizations_;
+    t_.status = std::move(status);
+    t_.basis = std::move(basic);
+    t_.basis_row.assign(total, -1);
+    t_.value.assign(total, 0.0);
+    for (int k = 0; k < t_.m; ++k) t_.basis_row[t_.basis[k]] = k;
+    for (int j = 0; j < total; ++j) {
+      if (t_.status[j] != VarStatus::Basic) {
+        t_.value[j] = resting_value(t_.status[j], t_.lb[j], t_.ub[j]);
+      }
+    }
+    recompute_basic_values();
+    for (int k = 0; k < t_.m; ++k) {
+      const int j = t_.basis[k];
+      const double v = t_.value[j];
+      const double slop = kWarmAcceptTol * (1.0 + std::abs(v));
+      if (v < t_.lb[j] - slop || v > t_.ub[j] + slop) return false;
+    }
+    return true;
+  }
+
+  /// Runs the solve.  `warm` means try_warm_start succeeded: the current
+  /// basis is primal feasible, so phase 1 is skipped entirely.
+  LpSolution run(bool warm) {
     LpSolution out;
-    init_basis();
-    if (!t_.artificials.empty()) {
-      std::vector<double> phase1(t_.num_cols(), 0.0);
-      for (int a : t_.artificials) phase1[a] = 1.0;
-      const SolveStatus s1 = iterate(phase1, /*phase1=*/true);
-      if (s1 != SolveStatus::Optimal) {
-        out.status = s1;
-        out.iterations = iterations_;
-        return out;
-      }
-      double infeas = 0;
-      for (int a : t_.artificials) infeas += t_.value[a];
-      if (infeas > 1e-6) {
-        out.status = SolveStatus::Infeasible;
-        out.iterations = iterations_;
-        return out;
-      }
-      // Freeze all artificials at zero for phase 2.
-      for (int a : t_.artificials) {
-        t_.lb[a] = t_.ub[a] = 0.0;
-        t_.value[a] = 0.0;
-        if (t_.basis_row[a] < 0) t_.status[a] = VarStatus::AtLower;
+    if (!warm) {
+      init_basis();
+      if (!t_.artificials.empty()) {
+        std::vector<double> phase1(t_.num_cols(), 0.0);
+        for (int a : t_.artificials) phase1[a] = 1.0;
+        const SolveStatus s1 = iterate(phase1, /*phase1=*/true);
+        if (s1 != SolveStatus::Optimal) {
+          out.status = s1;
+          finish_stats(out);
+          return out;
+        }
+        double infeas = 0;
+        for (int a : t_.artificials) infeas += t_.value[a];
+        if (infeas > 1e-6) {
+          out.status = SolveStatus::Infeasible;
+          finish_stats(out);
+          return out;
+        }
+        // Freeze all artificials at zero for phase 2.
+        for (int a : t_.artificials) {
+          t_.lb[a] = t_.ub[a] = 0.0;
+          t_.value[a] = 0.0;
+          if (t_.basis_row[a] < 0) t_.status[a] = VarStatus::AtLower;
+        }
       }
     }
     // Grow the cost vector to cover artificial columns (cost 0).
     cost_.resize(t_.num_cols(), 0.0);
     const SolveStatus s2 = iterate(cost_, /*phase1=*/false);
     out.status = s2;
-    out.iterations = iterations_;
+    finish_stats(out);
     if (s2 != SolveStatus::Optimal) return out;
 
     out.x.assign(t_.n_struct, 0.0);
@@ -174,7 +422,30 @@ class Engine {
     return out;
   }
 
+  /// Snapshot of the final basis, or an empty Basis when no valid snapshot
+  /// exists (a degenerate phase 1 can leave an artificial basic at zero;
+  /// such a basis does not describe the original column space).
+  Basis export_basis() const {
+    Basis b;
+    for (int a : t_.artificials) {
+      if (t_.status[a] == VarStatus::Basic) return b;
+    }
+    const int total = t_.n_struct + t_.m;
+    b.status.resize(total);
+    for (int j = 0; j < total; ++j) {
+      switch (t_.status[j]) {
+        case VarStatus::Basic: b.status[j] = BasisStatus::Basic; break;
+        case VarStatus::AtLower: b.status[j] = BasisStatus::AtLower; break;
+        case VarStatus::AtUpper: b.status[j] = BasisStatus::AtUpper; break;
+        case VarStatus::Free: b.status[j] = BasisStatus::Free; break;
+      }
+    }
+    return b;
+  }
+
  private:
+  static constexpr double kWarmAcceptTol = 1e-6;
+
   /// Sets up the slack basis plus artificials for rows whose slack starts
   /// outside its bounds.
   void init_basis() {
@@ -221,13 +492,7 @@ class Engine {
         t_.artificials.push_back(art_col);
       }
     }
-    // Basis is (a signed permutation of) the identity; its inverse too.
-    t_.binv.assign(static_cast<std::size_t>(t_.m) * t_.m, 0.0);
-    for (int r = 0; r < t_.m; ++r) {
-      const int j = t_.basis[r];
-      // Slack coefficient is +1; artificial coefficient is +/-1.
-      t_.inv(r, r) = 1.0 / t_.cols[j].coef[0];
-    }
+    refactorize();
   }
 
   void set_basic(int col, int row, double value) {
@@ -238,12 +503,10 @@ class Engine {
   }
 
   std::vector<double> compute_y(const std::vector<double>& c) const {
-    std::vector<double> y(t_.m, 0.0);
-    for (int i = 0; i < t_.m; ++i) {
-      const double cb = c[t_.basis[i]];
-      if (cb == 0.0) continue;
-      for (int k = 0; k < t_.m; ++k) y[k] += cb * t_.inv(i, k);
-    }
+    std::vector<double> z(t_.m, 0.0);
+    for (int k = 0; k < t_.m; ++k) z[k] = c[t_.basis[k]];
+    std::vector<double> y;
+    factor_.btran(z, y);
     return y;
   }
 
@@ -257,69 +520,25 @@ class Engine {
     return d;
   }
 
-  /// B^{-1} a_j.
+  /// B^{-1} a_j, indexed by basis position.
   std::vector<double> ftran(int j) const {
     std::vector<double> w(t_.m, 0.0);
     const Column& col = t_.cols[j];
     for (std::size_t k = 0; k < col.row.size(); ++k) {
-      const int r = col.row[k];
-      const double a = col.coef[k];
-      for (int i = 0; i < t_.m; ++i) w[i] += t_.inv(i, r) * a;
+      w[col.row[k]] = col.coef[k];
     }
-    return w;
+    std::vector<double> z;
+    factor_.ftran(w, z);
+    return z;
   }
 
-  /// Rebuilds B^{-1} from scratch and recomputes basic values.
+  /// Refactorizes the current basis from scratch and recomputes values.
   void refactorize() {
-    const int m = t_.m;
-    if (m == 0) return;
-    // Dense B in row-major, augmented Gauss-Jordan to the identity.
-    std::vector<double> B(static_cast<std::size_t>(m) * m, 0.0);
-    for (int i = 0; i < m; ++i) {
-      const Column& col = t_.cols[t_.basis[i]];
-      for (std::size_t k = 0; k < col.row.size(); ++k) {
-        B[static_cast<std::size_t>(col.row[k]) * m + i] = col.coef[k];
-      }
+    if (t_.m == 0) return;
+    if (!factor_.factorize(t_, t_.basis)) {
+      throw std::runtime_error("simplex: singular basis during refactorize");
     }
-    std::vector<double> inv(static_cast<std::size_t>(m) * m, 0.0);
-    for (int i = 0; i < m; ++i) inv[static_cast<std::size_t>(i) * m + i] = 1.0;
-    auto bat = [&](std::vector<double>& mat, int i, int k) -> double& {
-      return mat[static_cast<std::size_t>(i) * m + k];
-    };
-    for (int col = 0; col < m; ++col) {
-      int piv = col;
-      double best = std::abs(bat(B, col, col));
-      for (int i = col + 1; i < m; ++i) {
-        if (std::abs(bat(B, i, col)) > best) {
-          best = std::abs(bat(B, i, col));
-          piv = i;
-        }
-      }
-      if (best < 1e-12) {
-        throw std::runtime_error("simplex: singular basis during refactorize");
-      }
-      if (piv != col) {
-        for (int k = 0; k < m; ++k) {
-          std::swap(bat(B, piv, k), bat(B, col, k));
-          std::swap(bat(inv, piv, k), bat(inv, col, k));
-        }
-      }
-      const double p = bat(B, col, col);
-      for (int k = 0; k < m; ++k) {
-        bat(B, col, k) /= p;
-        bat(inv, col, k) /= p;
-      }
-      for (int i = 0; i < m; ++i) {
-        if (i == col) continue;
-        const double f = bat(B, i, col);
-        if (f == 0.0) continue;
-        for (int k = 0; k < m; ++k) {
-          bat(B, i, k) -= f * bat(B, col, k);
-          bat(inv, i, k) -= f * bat(inv, col, k);
-        }
-      }
-    }
-    t_.binv = std::move(inv);
+    ++factorizations_;
     recompute_basic_values();
   }
 
@@ -333,17 +552,14 @@ class Engine {
         rhs[col.row[k]] -= col.coef[k] * t_.value[j];
       }
     }
-    for (int i = 0; i < t_.m; ++i) {
-      double v = 0;
-      for (int k = 0; k < t_.m; ++k) v += t_.inv(i, k) * rhs[k];
-      t_.value[t_.basis[i]] = v;
-    }
+    std::vector<double> z;
+    factor_.ftran(rhs, z);
+    for (int k = 0; k < t_.m; ++k) t_.value[t_.basis[k]] = z[k];
   }
 
   /// One simplex phase.  Returns Optimal, Unbounded or IterationLimit.
   SolveStatus iterate(const std::vector<double>& c, bool phase1) {
     int degenerate_run = 0;
-    int since_refactor = 0;
     while (true) {
       if (iterations_++ >= max_iterations_) return SolveStatus::IterationLimit;
       const bool bland = degenerate_run >= opt_.bland_threshold;
@@ -414,10 +630,13 @@ class Engine {
           }
         }
       }
-      // Bound-flip of the entering variable itself.
+      // Bound-flip of the entering variable itself.  Ties go to the flip:
+      // it needs no basis change, and on degenerate bottlenecks it leaves
+      // the basis whose dual prices the *extra* unit of capacity (the
+      // shadow price callers consume) rather than the removed one.
       const double span = t_.ub[enter] - t_.lb[enter];
       bool flip = false;
-      if (std::isfinite(span) && span < t_max - opt_.tol) {
+      if (std::isfinite(span) && span <= t_max) {
         t_max = span;
         flip = true;
       }
@@ -454,33 +673,32 @@ class Engine {
       }
       set_basic(enter, leave_pos, enter_value);
 
-      // --- Update B^{-1} (pivot on w[leave_pos]) ---
+      // --- Update the factorization ---
       const double pivot = w[leave_pos];
       if (std::abs(pivot) < opt_.pivot_tol) {
         refactorize();
-        since_refactor = 0;
         continue;
       }
-      for (int i = 0; i < t_.m; ++i) {
-        if (i == leave_pos) continue;
-        const double f = w[i] / pivot;
-        if (f == 0.0) continue;
-        for (int k = 0; k < t_.m; ++k) t_.inv(i, k) -= f * t_.inv(leave_pos, k);
-      }
-      for (int k = 0; k < t_.m; ++k) t_.inv(leave_pos, k) /= pivot;
-
-      if (++since_refactor >= opt_.refactor_interval) {
+      factor_.push_eta(leave_pos, w);
+      if (factor_.eta_count() >= opt_.refactor_interval) {
         refactorize();
-        since_refactor = 0;
       }
     }
   }
 
+  void finish_stats(LpSolution& out) const {
+    out.iterations = iterations_;
+    out.stats.iterations = iterations_;
+    out.stats.factorizations = factorizations_;
+  }
+
   SimplexOptions opt_;
   Tableau t_;
+  BasisFactor factor_;
   std::vector<double> cost_;  // minimization costs over all columns
   double sign_ = 1.0;
   int iterations_ = 0;
+  int factorizations_ = 0;
   int max_iterations_ = 0;
 };
 
@@ -555,25 +773,84 @@ Scaled scale_problem(const LinearProblem& p) {
 }  // namespace
 
 LpSolution SimplexSolver::solve(const LinearProblem& problem) const {
+  return solve(problem, nullptr);
+}
+
+LpSolution SimplexSolver::solve(const LinearProblem& problem,
+                                Basis* basis) const {
+  const auto start = std::chrono::steady_clock::now();
   problem.validate();
-  if (!options_.scale) {
-    Engine engine(problem, options_);
-    return engine.run();
-  }
-  const Scaled scaled = scale_problem(problem);
-  Engine engine(scaled.problem, options_);
-  LpSolution sol = engine.run();
-  if (sol.status == SolveStatus::Optimal) {
-    for (int j = 0; j < problem.num_variables(); ++j) {
-      sol.x[j] *= scaled.col[j];
+  LpSolution sol;
+  bool warm_used = false;
+
+  if (options_.scale) {
+    // Scaled path: statuses are scale-invariant, so a snapshot carries
+    // over; presolve is skipped (its bookkeeping is in unscaled space).
+    const Scaled scaled = scale_problem(problem);
+    Engine engine(scaled.problem, options_);
+    warm_used = basis != nullptr && engine.try_warm_start(*basis);
+    sol = engine.run(warm_used);
+    if (sol.status == SolveStatus::Optimal) {
+      for (int j = 0; j < problem.num_variables(); ++j) {
+        sol.x[j] *= scaled.col[j];
+      }
+      for (int r = 0; r < problem.num_rows(); ++r) {
+        sol.duals[r] *= scaled.row[r];
+      }
+      // c' x' == c x, so the objective needs no adjustment; recompute anyway
+      // to wash out scaling round-off.
+      sol.objective = problem.objective_value(sol.x);
+      if (basis) *basis = engine.export_basis();
     }
-    for (int r = 0; r < problem.num_rows(); ++r) {
-      sol.duals[r] *= scaled.row[r];
+  } else {
+    bool solved = false;
+    // A caller-supplied basis refers to the full problem, so an accepted
+    // warm start bypasses presolve entirely.
+    if (basis != nullptr && !basis->empty() &&
+        basis->compatible(problem.num_variables(), problem.num_rows())) {
+      Engine engine(problem, options_);
+      if (engine.try_warm_start(*basis)) {
+        warm_used = true;
+        sol = engine.run(true);
+        if (sol.ok()) *basis = engine.export_basis();
+        solved = true;
+      }
     }
-    // c' x' == c x, so the objective needs no adjustment; recompute anyway
-    // to wash out scaling round-off.
-    sol.objective = problem.objective_value(sol.x);
+    if (!solved && options_.presolve) {
+      const PresolveResult pre = presolve(problem);
+      if (pre.infeasible) {
+        sol.status = SolveStatus::Infeasible;
+        solved = true;
+      } else if (!pre.unbounded) {
+        Engine engine(pre.reduced, options_);
+        const LpSolution red = engine.run(false);
+        sol = pre.postsolve(problem, red, options_.tol);
+        sol.stats.presolve_removed_rows = pre.removed_rows;
+        sol.stats.presolve_removed_cols = pre.removed_columns;
+        if (sol.ok() && basis) {
+          *basis = pre.lift_basis(problem, engine.export_basis());
+        }
+        solved = true;
+      }
+      // An `unbounded` verdict only proves an improving ray exists IF the
+      // rest of the model is feasible; fall through and let the full solve
+      // decide between Unbounded and Infeasible.
+    }
+    if (!solved) {
+      Engine engine(problem, options_);
+      sol = engine.run(false);
+      if (sol.ok() && basis) *basis = engine.export_basis();
+    }
   }
+
+  if (warm_used) {
+    sol.stats.warm_starts = 1;
+  } else {
+    sol.stats.cold_starts = 1;
+  }
+  sol.stats.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
   return sol;
 }
 

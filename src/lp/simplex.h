@@ -1,7 +1,8 @@
 // SimplexSolver: a two-phase primal simplex method for LinearProblem.
 //
-// Design (classic textbook revised simplex, sized for the LPs in this repo:
-// up to a few thousand columns and ~1000 rows):
+// Design (sparse revised simplex, sized for the LPs in this repo: up to a
+// few thousand columns and ~1000 rows, very sparse — each SPM path column
+// touches only its path's edge-slot rows):
 //
 //  * Computational standard form.  Every row gets one slack column with
 //    coefficient +1 whose bounds encode the row type (LessEqual: [0, inf),
@@ -12,11 +13,24 @@
 //  * Phase 1 with artificials.  Rows whose initial slack value falls outside
 //    the slack bounds receive one artificial column; phase 1 minimizes the
 //    sum of artificials.  Artificials are frozen ([0,0]) once driven out.
-//  * Explicit dense basis inverse B^{-1}, updated by elementary row
-//    operations per pivot and refactorized (Gauss-Jordan with partial
-//    pivoting) every `refactor_interval` pivots to bound numerical drift.
+//  * Sparse LU basis factorization (left-looking, partial pivoting with
+//    deterministic ties) with product-form eta updates per pivot; the basis
+//    is refactorized every `refactor_interval` pivots to bound drift.
+//    FTRAN/BTRAN run against the sparse factors, never a dense inverse.
 //  * Dantzig pricing with an automatic switch to Bland's rule after a run of
 //    degenerate pivots, which guarantees termination.
+//  * Presolve by default.  `presolve()` reductions run in front of the
+//    simplex and `postsolve` lifts the reduced optimum — primal AND dual —
+//    back to the caller's space.  Bypassed when `options.presolve` is off,
+//    when `options.scale` is on, when a warm basis is accepted (the basis
+//    refers to the full problem), and on a presolve `unbounded` verdict
+//    (which assumes the remaining model is feasible; the full solve proves
+//    it).
+//  * Warm starts.  `solve(problem, &basis)` tries to start from a caller
+//    supplied basis snapshot and writes the optimal basis back, so repeated
+//    solves of same-shaped problems (Metis alternation, branch & bound
+//    children) skip phase 1 and most of phase 2.  See Basis in types.h for
+//    the acceptance contract; rejection silently falls back to a cold start.
 //
 // This module is the stand-in for the commercial LP solver (Gurobi) used by
 // the paper; see DESIGN.md section 2.
@@ -34,7 +48,7 @@ struct SimplexOptions {
   double tol = 1e-7;
   /// Pivot magnitude below which a column is rejected as numerically unsafe.
   double pivot_tol = 1e-9;
-  /// Refactorize the basis inverse every this many pivots.
+  /// Refactorize the basis every this many pivots.
   int refactor_interval = 100;
   /// Consecutive degenerate pivots before switching to Bland's rule.
   int bland_threshold = 64;
@@ -45,6 +59,10 @@ struct SimplexOptions {
   /// handling and costs several times more iterations.  The solution is
   /// unscaled transparently when enabled.
   bool scale = false;
+  /// Run presolve reductions before the simplex (skipped when `scale` is
+  /// on or a warm-start basis is accepted).  Postsolve restores full
+  /// primal/dual vectors, so this is transparent to callers.
+  bool presolve = true;
 };
 
 class SimplexSolver {
@@ -53,7 +71,16 @@ class SimplexSolver {
 
   /// Solves the problem.  The returned solution is in the problem's own
   /// sense (objective is the true max/min value, duals match the rows).
+  /// Non-Optimal statuses return empty x/duals and objective 0.
   LpSolution solve(const LinearProblem& problem) const;
+
+  /// Same, with basis reuse: when `basis` is non-null and holds a
+  /// compatible snapshot, the solve warm-starts from it (bypassing
+  /// presolve); an unusable snapshot falls back to a cold start.  On
+  /// Optimal, `*basis` is overwritten with the final basis (possibly empty
+  /// when no valid snapshot exists, e.g. an artificial stayed basic); on
+  /// any other status it is left untouched.
+  LpSolution solve(const LinearProblem& problem, Basis* basis) const;
 
   const SimplexOptions& options() const { return options_; }
 

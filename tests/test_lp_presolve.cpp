@@ -156,6 +156,157 @@ TEST(Presolve, RlSpmModelShrinks) {
   EXPECT_TRUE(model.problem.is_feasible(full, 1e-6));
 }
 
+// ------------------------------------------- postsolve round-trips ------
+
+/// Certifies `sol` as an optimal primal/dual pair for `problem`: primal
+/// feasibility, reduced-cost and row-dual sign conditions, complementary
+/// slackness, strong duality.  Independent of how the pair was produced, so
+/// it validates postsolve's dual recovery without trusting the solver.
+void certify_kkt(const LinearProblem& problem, const LpSolution& sol) {
+  constexpr double tol = 1e-6;
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  ASSERT_EQ(static_cast<int>(sol.x.size()), problem.num_variables());
+  ASSERT_EQ(static_cast<int>(sol.duals.size()), problem.num_rows());
+  EXPECT_TRUE(problem.is_feasible(sol.x, tol));
+
+  const double sign = problem.sense() == Sense::Minimize ? 1.0 : -1.0;
+  std::vector<double> y(problem.num_rows());
+  for (int r = 0; r < problem.num_rows(); ++r) y[r] = sign * sol.duals[r];
+  std::vector<double> d(problem.num_variables());
+  for (int j = 0; j < problem.num_variables(); ++j) {
+    d[j] = sign * problem.objective_coef(j);
+  }
+  for (int r = 0; r < problem.num_rows(); ++r) {
+    for (const RowEntry& e : problem.row(r).entries) d[e.col] -= y[r] * e.coef;
+  }
+  for (int j = 0; j < problem.num_variables(); ++j) {
+    const double lb = problem.lower_bound(j);
+    const double ub = problem.upper_bound(j);
+    const bool at_lower = std::isfinite(lb) && sol.x[j] <= lb + tol;
+    const bool at_upper = std::isfinite(ub) && sol.x[j] >= ub - tol;
+    if (at_lower && at_upper) continue;
+    if (at_lower) {
+      EXPECT_GE(d[j], -1e-5) << "col " << j;
+    } else if (at_upper) {
+      EXPECT_LE(d[j], 1e-5) << "col " << j;
+    } else {
+      EXPECT_NEAR(d[j], 0, 1e-5) << "col " << j;
+    }
+  }
+  for (int r = 0; r < problem.num_rows(); ++r) {
+    const double slack = problem.row(r).rhs - problem.row_activity(r, sol.x);
+    switch (problem.row(r).type) {
+      case RowType::LessEqual:
+        EXPECT_LE(y[r], 1e-5) << "row " << r;
+        if (slack > tol) EXPECT_NEAR(y[r], 0, 1e-5) << "row " << r;
+        break;
+      case RowType::GreaterEqual:
+        EXPECT_GE(y[r], -1e-5) << "row " << r;
+        if (slack < -tol) EXPECT_NEAR(y[r], 0, 1e-5) << "row " << r;
+        break;
+      case RowType::Equal:
+        break;
+    }
+  }
+}
+
+/// Small network where requests 0->1 and 1->2 have exactly one candidate
+/// path: their assignment rows are singleton equalities, so presolve is
+/// guaranteed to eliminate rows/columns and postsolve must replay them.
+core::SpmInstance mixed_path_instance() {
+  net::Topology topo(3);
+  topo.add_edge(0, 1, 1.5);
+  topo.add_edge(1, 2, 1.0);
+  topo.add_edge(0, 2, 2.5);
+  std::vector<workload::Request> requests = {
+      {0, 1, 0, 2, 0.7, 4.0},
+      {0, 1, 1, 3, 0.5, 3.0},
+      {0, 2, 0, 3, 0.6, 5.0},
+      {0, 2, 2, 3, 0.8, 4.5},
+      {1, 2, 0, 1, 0.4, 2.0},
+  };
+  core::InstanceConfig config;
+  config.num_slots = 4;
+  return core::SpmInstance(std::move(topo), std::move(requests), config);
+}
+
+TEST(Postsolve, RecoversPrimalAndDualsOnRlSpm) {
+  // Reduced solve + postsolve must reproduce the no-presolve solver's
+  // optimum on an RL-SPM model, with a KKT-certifiable dual vector.
+  const core::SpmInstance instance = mixed_path_instance();
+  const core::SpmModel model = core::build_rl_spm(instance);
+  const PresolveResult pr = presolve(model.problem);
+  ASSERT_FALSE(pr.infeasible);
+  ASSERT_FALSE(pr.unbounded);
+  EXPECT_GT(pr.removed_rows + pr.removed_columns, 0);
+
+  SimplexOptions raw;
+  raw.presolve = false;
+  const LpSolution reduced = SimplexSolver(raw).solve(pr.reduced);
+  ASSERT_TRUE(reduced.ok());
+  const LpSolution sol = pr.postsolve(model.problem, reduced);
+  certify_kkt(model.problem, sol);
+
+  const LpSolution dense = SimplexSolver(raw).solve(model.problem);
+  ASSERT_TRUE(dense.ok());
+  EXPECT_NEAR(sol.objective, dense.objective,
+              1e-6 * (1 + std::abs(dense.objective)));
+}
+
+TEST(Postsolve, RecoversPrimalAndDualsOnBlSpm) {
+  sim::Scenario scenario;
+  scenario.network = sim::Network::SubB4;
+  scenario.num_requests = 25;
+  scenario.seed = 6;
+  const core::SpmInstance instance = sim::make_instance(scenario);
+  core::ChargingPlan caps;
+  caps.units.assign(instance.num_edges(), 3);
+  const core::SpmModel model = core::build_bl_spm(instance, caps);
+  const PresolveResult pr = presolve(model.problem);
+  ASSERT_FALSE(pr.infeasible);
+  ASSERT_FALSE(pr.unbounded);
+
+  SimplexOptions raw;
+  raw.presolve = false;
+  const LpSolution reduced = SimplexSolver(raw).solve(pr.reduced);
+  ASSERT_TRUE(reduced.ok());
+  const LpSolution sol = pr.postsolve(model.problem, reduced);
+  certify_kkt(model.problem, sol);
+
+  const LpSolution dense = SimplexSolver(raw).solve(model.problem);
+  ASSERT_TRUE(dense.ok());
+  EXPECT_NEAR(sol.objective, dense.objective,
+              1e-6 * (1 + std::abs(dense.objective)));
+}
+
+TEST(Postsolve, PassesThroughNonOptimalStatus) {
+  LinearProblem p(Sense::Minimize);
+  const int x = p.add_variable(0, 10, 1);
+  const int y = p.add_variable(0, 10, 1);
+  p.add_row(RowType::GreaterEqual, 4, {{x, 1}, {y, 1}});
+  const PresolveResult pr = presolve(p);
+  LpSolution limited;
+  limited.status = SolveStatus::IterationLimit;
+  const LpSolution out = pr.postsolve(p, limited);
+  EXPECT_EQ(out.status, SolveStatus::IterationLimit);
+  EXPECT_TRUE(out.x.empty());
+  EXPECT_TRUE(out.duals.empty());
+  EXPECT_EQ(out.objective, 0.0);
+}
+
+TEST(Postsolve, SolverDefaultPathEqualsExplicitRoundTrip) {
+  // SimplexSolver with presolve on (the default) reports its reductions in
+  // the solve stats and still yields a KKT-certifiable pair.
+  const core::SpmInstance instance = mixed_path_instance();
+  const core::SpmModel model = core::build_rl_spm(instance);
+  const LpSolution via_solver = SimplexSolver().solve(model.problem);
+  ASSERT_TRUE(via_solver.ok());
+  certify_kkt(model.problem, via_solver);
+  EXPECT_GT(via_solver.stats.presolve_removed_rows +
+                via_solver.stats.presolve_removed_cols,
+            0);
+}
+
 class PresolveProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(PresolveProperty, PreservesOptimumOnRandomLps) {
@@ -199,6 +350,9 @@ TEST_P(PresolveProperty, PreservesOptimumOnRandomLps) {
               1e-5 * (1 + std::abs(direct.objective)))
       << "seed " << GetParam();
   EXPECT_TRUE(p.is_feasible(pr.restore(via.x), 1e-5));
+  // Full round-trip: the postsolved primal/dual pair certifies against the
+  // original problem.
+  certify_kkt(p, pr.postsolve(p, via));
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, PresolveProperty, ::testing::Range(0, 40));

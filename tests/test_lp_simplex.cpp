@@ -10,6 +10,7 @@
 //  * parameterized property sweeps on random feasible-by-construction LPs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -311,6 +312,66 @@ TEST(Simplex, IterationLimitReported) {
   p.add_row(RowType::GreaterEqual, 6, {{x, 1}, {y, 3}});
   const LpSolution sol = SimplexSolver(options).solve(p);
   EXPECT_EQ(sol.status, SolveStatus::IterationLimit);
+}
+
+TEST(Simplex, IterationLimitExposesNoHalfIteratedPoint) {
+  // Contract: any non-Optimal status returns empty x/duals and objective 0 —
+  // callers must never consume a partially pivoted point.  Holds on the
+  // plain, scaled, and presolve-bypassing paths alike, and a caller-supplied
+  // basis slot stays untouched.
+  LinearProblem p(Sense::Minimize);
+  const int x = p.add_variable(0, kInfinity, 1);
+  const int y = p.add_variable(0, kInfinity, 1);
+  p.add_row(RowType::GreaterEqual, 4, {{x, 1}, {y, 1}});
+  p.add_row(RowType::GreaterEqual, 6, {{x, 1}, {y, 3}});
+  for (const bool scale : {false, true}) {
+    SimplexOptions options;
+    options.max_iterations = 1;
+    options.scale = scale;
+    Basis basis;
+    const LpSolution sol = SimplexSolver(options).solve(p, &basis);
+    EXPECT_EQ(sol.status, SolveStatus::IterationLimit) << "scale " << scale;
+    EXPECT_TRUE(sol.x.empty()) << "scale " << scale;
+    EXPECT_TRUE(sol.duals.empty()) << "scale " << scale;
+    EXPECT_EQ(sol.objective, 0.0) << "scale " << scale;
+    EXPECT_TRUE(basis.empty()) << "scale " << scale;
+    EXPECT_EQ(sol.stats.iterations, sol.iterations) << "scale " << scale;
+  }
+}
+
+TEST(Simplex, IterationLimitWithWarmBasisLeavesBasisIntact) {
+  // Solve once to get a basis, then re-solve with a crippled iteration cap:
+  // the warm attempt runs out of budget, but the snapshot the caller
+  // carries must survive for the next (uncrippled) solve.
+  LinearProblem p(Sense::Minimize);
+  std::vector<int> cols;
+  for (int j = 0; j < 6; ++j) cols.push_back(p.add_variable(0, 1, 1));
+  std::vector<RowEntry> entries;
+  for (int col : cols) entries.push_back({col, 1});
+  p.add_row(RowType::LessEqual, 10, entries);
+  Basis basis;
+  const LpSolution warmup = SimplexSolver().solve(p, &basis);
+  ASSERT_EQ(warmup.status, SolveStatus::Optimal);
+  ASSERT_FALSE(basis.empty());
+  const Basis saved = basis;
+
+  // Flip every objective coefficient: the warm re-solve now needs one bound
+  // flip per column, far beyond a 1-iteration budget.
+  for (int col : cols) p.set_objective_coef(col, -1);
+  SimplexOptions capped;
+  capped.max_iterations = 1;
+  const LpSolution limited = SimplexSolver(capped).solve(p, &basis);
+  EXPECT_EQ(limited.status, SolveStatus::IterationLimit);
+  EXPECT_TRUE(limited.x.empty());
+  ASSERT_EQ(basis.status.size(), saved.status.size());
+  EXPECT_TRUE(std::equal(basis.status.begin(), basis.status.end(),
+                         saved.status.begin()));
+
+  // The surviving snapshot still warm-starts an uncapped solve.
+  const LpSolution redo = SimplexSolver().solve(p, &basis);
+  EXPECT_EQ(redo.status, SolveStatus::Optimal);
+  EXPECT_NEAR(redo.objective, -6, kTol);
+  EXPECT_EQ(redo.stats.warm_starts, 1);
 }
 
 // ------------------------------------------------- property sweeps -------

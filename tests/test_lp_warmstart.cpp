@@ -1,0 +1,194 @@
+// Warm-start equivalence suite for the revised simplex: a carried Basis
+// snapshot must never change which optimum is found (objectives agree to
+// tolerance), must shrink the work on re-solves (fewer iterations than a
+// cold solve), and must degrade safely — an incompatible, stale or garbage
+// snapshot silently falls back to a cold start.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/accounting.h"
+#include "core/lp_builder.h"
+#include "lp/simplex.h"
+#include "sim/scenario.h"
+#include "util/rng.h"
+
+namespace metis::lp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+core::SpmInstance small_instance(std::uint64_t seed, int k) {
+  sim::Scenario s;
+  s.network = sim::Network::SubB4;
+  s.num_requests = k;
+  s.seed = seed;
+  return sim::make_instance(s);
+}
+
+double rel_diff(double a, double b) {
+  return std::abs(a - b) / (1 + std::max(std::abs(a), std::abs(b)));
+}
+
+TEST(WarmStart, ResolveOfSameProblemIsNearFree) {
+  const core::SpmInstance instance = small_instance(1, 25);
+  const core::SpmModel model = core::build_rl_spm(instance);
+  SimplexSolver solver;
+  Basis basis;
+  const LpSolution cold = solver.solve(model.problem, &basis);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_FALSE(basis.empty());
+  EXPECT_EQ(cold.stats.cold_starts, 1);
+
+  const LpSolution warm = solver.solve(model.problem, &basis);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm.stats.warm_starts, 1);
+  EXPECT_EQ(warm.stats.cold_starts, 0);
+  // The snapshot is already optimal: pricing confirms it without pivoting.
+  EXPECT_LE(warm.stats.iterations, 1);
+  EXPECT_LT(warm.stats.iterations, cold.stats.iterations);
+  EXPECT_LE(rel_diff(warm.objective, cold.objective), kTol);
+}
+
+TEST(WarmStart, RhsPerturbationResolvesCheaper) {
+  // The Metis trim step changes only capacity right-hand sides; the basis
+  // from the previous optimum should put the re-solve within a few dual
+  // repair pivots of the new one.
+  const core::SpmInstance instance = small_instance(2, 30);
+  core::ChargingPlan caps;
+  caps.units.assign(instance.num_edges(), 3);
+  const core::SpmModel before = core::build_bl_spm(instance, caps);
+  SimplexSolver solver;
+  Basis basis;
+  const LpSolution first = solver.solve(before.problem, &basis);
+  ASSERT_TRUE(first.ok());
+
+  caps.units[0] = 2;  // trim one edge
+  const core::SpmModel after = core::build_bl_spm(instance, caps);
+  const LpSolution warm = solver.solve(after.problem, &basis);
+  const LpSolution cold = solver.solve(after.problem);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_LE(rel_diff(warm.ok() ? warm.objective : cold.objective,
+                     cold.objective),
+            kTol);
+  if (warm.stats.warm_starts == 1) {
+    EXPECT_LE(warm.stats.iterations, cold.stats.iterations);
+  }
+}
+
+TEST(WarmStart, MetisAlternationSequenceSavesIterations) {
+  // Emulates the alternation loop's LP sequence: one BL-SPM shape, a
+  // capacity vector trimmed by one unit per step.  The warm chain must
+  // match every cold objective within tolerance and spend strictly fewer
+  // simplex iterations in total (the bench pins the ratio; the test pins
+  // correctness and direction).
+  const core::SpmInstance instance = small_instance(3, 35);
+  core::ChargingPlan caps;
+  caps.units.assign(instance.num_edges(), 4);
+  SimplexSolver solver;
+  Basis basis;
+  long warm_iterations = 0;
+  long cold_iterations = 0;
+  int warm_accepted = 0;
+  for (int step = 0; step < 6; ++step) {
+    const core::SpmModel model = core::build_bl_spm(instance, caps);
+    const LpSolution warm = solver.solve(model.problem, &basis);
+    const LpSolution cold = solver.solve(model.problem);
+    ASSERT_TRUE(warm.ok()) << "step " << step;
+    ASSERT_TRUE(cold.ok()) << "step " << step;
+    EXPECT_LE(rel_diff(warm.objective, cold.objective), kTol)
+        << "step " << step;
+    warm_iterations += warm.stats.iterations;
+    cold_iterations += cold.stats.iterations;
+    warm_accepted += warm.stats.warm_starts;
+    caps.units[step % instance.num_edges()] =
+        std::max(0, caps.units[step % instance.num_edges()] - 1);
+  }
+  EXPECT_GE(warm_accepted, 4) << "basis should survive rhs-only changes";
+  EXPECT_LT(warm_iterations, cold_iterations);
+}
+
+TEST(WarmStart, IncompatibleSnapshotFallsBackToCold) {
+  const core::SpmInstance a = small_instance(4, 20);
+  const core::SpmInstance b = small_instance(5, 12);
+  SimplexSolver solver;
+  Basis basis;
+  ASSERT_TRUE(solver.solve(core::build_rl_spm(a).problem, &basis).ok());
+  const core::SpmModel other = core::build_rl_spm(b);
+  const LpSolution sol = solver.solve(other.problem, &basis);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol.stats.cold_starts, 1);
+  EXPECT_EQ(sol.stats.warm_starts, 0);
+  // The slot now holds a snapshot of the problem actually solved.
+  EXPECT_TRUE(
+      basis.compatible(other.problem.num_variables(), other.problem.num_rows()));
+}
+
+TEST(WarmStart, GarbageSnapshotIsRejectedNotTrusted) {
+  // Right shape, nonsense content (no Basic entries at all): the solver
+  // must reject it, cold-start, and still reach the optimum.
+  const core::SpmInstance instance = small_instance(6, 20);
+  const core::SpmModel model = core::build_rl_spm(instance);
+  const LpSolution reference = SimplexSolver().solve(model.problem);
+  ASSERT_TRUE(reference.ok());
+
+  Basis garbage;
+  garbage.status.assign(
+      model.problem.num_variables() + model.problem.num_rows(),
+      BasisStatus::AtLower);
+  const LpSolution sol = SimplexSolver().solve(model.problem, &garbage);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol.stats.cold_starts, 1);
+  EXPECT_LE(rel_diff(sol.objective, reference.objective), kTol);
+}
+
+TEST(WarmStart, WorksThroughTheScaledPath) {
+  // Basis statuses are scale-invariant, so snapshots carry across solves
+  // with geometric-mean scaling enabled.
+  const core::SpmInstance instance = small_instance(7, 20);
+  const core::SpmModel model = core::build_rl_spm(instance);
+  SimplexOptions options;
+  options.scale = true;
+  SimplexSolver solver(options);
+  Basis basis;
+  const LpSolution cold = solver.solve(model.problem, &basis);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_FALSE(basis.empty());
+  const LpSolution warm = solver.solve(model.problem, &basis);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm.stats.warm_starts, 1);
+  EXPECT_LE(rel_diff(warm.objective, cold.objective), kTol);
+}
+
+TEST(WarmStart, ObjectivePerturbationMatchesColdOnRandomSequence) {
+  // Random-LP chain: re-solve with a slightly rotated objective from the
+  // previous basis; every warm objective must match the cold one.
+  Rng rng(99);
+  LinearProblem p(Sense::Minimize);
+  const int n = 6;
+  for (int j = 0; j < n; ++j) p.add_variable(0, 4, rng.uniform(-2, 2));
+  for (int r = 0; r < 5; ++r) {
+    std::vector<RowEntry> entries;
+    for (int j = 0; j < n; ++j) {
+      if (rng.bernoulli(0.6)) entries.push_back({j, rng.uniform(-2, 2)});
+    }
+    if (entries.empty()) entries.push_back({r % n, 1.0});
+    p.add_row(RowType::LessEqual, rng.uniform(1, 6), entries);
+  }
+  SimplexSolver solver;
+  Basis basis;
+  for (int step = 0; step < 8; ++step) {
+    const LpSolution warm = solver.solve(p, &basis);
+    const LpSolution cold = solver.solve(p);
+    ASSERT_TRUE(warm.ok()) << "step " << step;
+    ASSERT_TRUE(cold.ok()) << "step " << step;
+    EXPECT_LE(rel_diff(warm.objective, cold.objective), kTol)
+        << "step " << step;
+    const int j = rng.uniform_int(0, n - 1);
+    p.set_objective_coef(j, p.objective_coef(j) + rng.uniform(-0.5, 0.5));
+  }
+}
+
+}  // namespace
+}  // namespace metis::lp

@@ -207,5 +207,31 @@ TEST(Maa, CostRatioToLpBoundReasonable) {
   EXPECT_LT(result.cost / result.lp_cost, 2.0);
 }
 
+TEST(Maa, ReportsIterationLimitDistinctFromInfeasible) {
+  // When the relaxation hits its iteration cap the result must say so —
+  // callers treat an infeasible LP (give up) differently from an
+  // iteration-limited one (raise the cap and retry).
+  const SpmInstance instance = small_instance(3, 20);
+  Rng rng(7);
+  MaaOptions options;
+  options.lp.max_iterations = 1;
+  const MaaResult result = run_maa(instance, {}, rng, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status, lp::SolveStatus::IterationLimit);
+  // The failed relaxation's work is still accounted for.
+  EXPECT_EQ(result.lp_stats.cold_starts, 1);
+}
+
+TEST(Maa, SolveStatsExposeRelaxationWork) {
+  const SpmInstance instance = small_instance(4, 20);
+  Rng rng(7);
+  const MaaResult result = run_maa(instance, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.lp_stats.iterations, 0);
+  EXPECT_GE(result.lp_stats.factorizations, 1);
+  EXPECT_EQ(result.lp_stats.cold_starts, 1);
+  EXPECT_EQ(result.lp_stats.warm_starts, 0);
+}
+
 }  // namespace
 }  // namespace metis::core

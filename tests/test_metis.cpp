@@ -3,6 +3,9 @@
 // best profit.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "core/accounting.h"
 #include "core/maa.h"
 #include "core/metis.h"
@@ -117,6 +120,87 @@ TEST(Pruning, FixpointIsStable) {
   prune_unprofitable(instance, schedule);
   // A second pass finds nothing more to remove.
   EXPECT_EQ(prune_unprofitable(instance, schedule), 0);
+}
+
+// Reference prune predating the per-edge range-max trees: full O(T) rescan
+// per (candidate, edge) inside the fixed-point loop.  The tree-based
+// prune_unprofitable must reproduce its decisions exactly — same requests
+// declined, in the same order.
+double reference_removal_saving(const SpmInstance& instance,
+                                const LoadMatrix& loads, net::EdgeId e,
+                                int start, int end, double rate) {
+  double peak_with = 0, peak_without = 0;
+  for (int t = 0; t < instance.num_slots(); ++t) {
+    const double load = loads.at(e, t);
+    peak_with = std::max(peak_with, load);
+    const bool in_window = t >= start && t <= end;
+    peak_without = std::max(peak_without, in_window ? load - rate : load);
+  }
+  return instance.topology().edge(e).price *
+         (charged_units(peak_with) - charged_units(peak_without));
+}
+
+int reference_prune(const SpmInstance& instance, Schedule& schedule) {
+  LoadMatrix loads = compute_loads(instance, schedule);
+  int pruned = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    int worst = -1;
+    double worst_margin = -1e-9;
+    for (int i = 0; i < instance.num_requests(); ++i) {
+      const int j = schedule.path_choice[i];
+      if (j == kDeclined) continue;
+      const workload::Request& r = instance.request(i);
+      double saving = 0;
+      for (net::EdgeId e : instance.paths(i)[j].edges) {
+        saving += reference_removal_saving(instance, loads, e, r.start_slot,
+                                           r.end_slot, r.rate);
+      }
+      if (r.value - saving < worst_margin) {
+        worst_margin = r.value - saving;
+        worst = i;
+      }
+    }
+    if (worst >= 0) {
+      const workload::Request& r = instance.request(worst);
+      for (net::EdgeId e : instance.paths(worst)[schedule.path_choice[worst]].edges) {
+        for (int t = r.start_slot; t <= r.end_slot; ++t) {
+          loads.add(e, t, -r.rate);
+        }
+      }
+      schedule.path_choice[worst] = kDeclined;
+      ++pruned;
+      changed = true;
+    }
+  }
+  return pruned;
+}
+
+TEST(Pruning, TreeMatchesReferenceDecisions) {
+  // All-accepted-on-first-path schedules force many removals; MAA schedules
+  // exercise the near-fixpoint regime.  Both must prune identically.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const SpmInstance instance = instance_for(seed, 60, sim::Network::B4);
+    Schedule greedy = Schedule::all_declined(instance.num_requests());
+    for (int i = 0; i < instance.num_requests(); ++i) greedy.path_choice[i] = 0;
+    Schedule expected = greedy;
+    const int ref = reference_prune(instance, expected);
+    const int got = prune_unprofitable(instance, greedy);
+    EXPECT_EQ(got, ref) << "seed " << seed;
+    EXPECT_EQ(greedy.path_choice, expected.path_choice) << "seed " << seed;
+
+    Rng rng(seed);
+    const MaaResult maa = run_maa(instance, rng);
+    ASSERT_TRUE(maa.ok());
+    Schedule tree_schedule = maa.schedule;
+    Schedule ref_schedule = maa.schedule;
+    EXPECT_EQ(prune_unprofitable(instance, tree_schedule),
+              reference_prune(instance, ref_schedule))
+        << "seed " << seed;
+    EXPECT_EQ(tree_schedule.path_choice, ref_schedule.path_choice)
+        << "seed " << seed;
+  }
 }
 
 TEST(Pruning, EmptyScheduleUntouched) {
@@ -272,6 +356,62 @@ TEST(Metis, DeterministicGivenSeed) {
   EXPECT_EQ(ra.schedule.path_choice, rb.schedule.path_choice);
   EXPECT_EQ(ra.plan.units, rb.plan.units);
   EXPECT_DOUBLE_EQ(ra.best.profit, rb.best.profit);
+}
+
+TEST(Metis, SurfacesInnerSolveStatusAndStats) {
+  const SpmInstance instance = instance_for(16, 30);
+  Rng rng(16);
+  const MetisResult result = run_metis(instance, rng);
+  ASSERT_GE(result.iterations_run, 1);
+  // A completed run leaves both stages' last statuses at Optimal and
+  // accounts for every relaxation solved across the loop.
+  EXPECT_EQ(result.maa_status, lp::SolveStatus::Optimal);
+  EXPECT_EQ(result.taa_status, lp::SolveStatus::Optimal);
+  EXPECT_GT(result.lp_stats.iterations, 0);
+  EXPECT_GE(result.lp_stats.cold_starts, 1);
+  // Each loop solves one MAA and (unless it stopped at the trim step) one
+  // TAA relaxation; every solve is either warm or cold.
+  const int solves =
+      result.lp_stats.cold_starts + result.lp_stats.warm_starts;
+  EXPECT_GE(solves, result.iterations_run);
+  EXPECT_LE(solves, 2 * result.iterations_run);
+}
+
+TEST(Metis, IterationLimitedMaaStopsLoopWithStatus) {
+  // A crippled MAA iteration cap must be reported as IterationLimit — not
+  // conflated with infeasibility — and the loop still returns the safe
+  // zero decision.
+  const SpmInstance instance = instance_for(17, 25);
+  Rng rng(17);
+  MetisOptions options;
+  options.maa.lp.max_iterations = 1;
+  const MetisResult result = run_metis(instance, rng, options);
+  EXPECT_EQ(result.maa_status, lp::SolveStatus::IterationLimit);
+  EXPECT_EQ(result.taa_status, lp::SolveStatus::NotSolved);
+  EXPECT_EQ(result.iterations_run, 0);
+  EXPECT_GE(result.best.profit, 0.0);
+  EXPECT_EQ(result.schedule.num_accepted(), 0);
+}
+
+TEST(Metis, WarmStartMatchesColdProfitWithLessWork) {
+  // The basis carried across alternation iterations changes how the optimum
+  // is reached, never which optimum: profits agree to LP tolerance and the
+  // warm run does at most the cold run's simplex work.
+  for (std::uint64_t seed = 18; seed <= 20; ++seed) {
+    const SpmInstance instance = instance_for(seed, 40);
+    MetisOptions warm, cold;
+    warm.warm_start = true;
+    cold.warm_start = false;
+    Rng a(seed), b(seed);
+    const MetisResult r_warm = run_metis(instance, a, warm);
+    const MetisResult r_cold = run_metis(instance, b, cold);
+    const double scale = std::max(1.0, std::abs(r_cold.best.profit));
+    EXPECT_NEAR(r_warm.best.profit, r_cold.best.profit, 1e-6 * scale)
+        << "seed " << seed;
+    EXPECT_LE(r_warm.lp_stats.iterations, r_cold.lp_stats.iterations)
+        << "seed " << seed;
+    EXPECT_EQ(r_cold.lp_stats.warm_starts, 0) << "seed " << seed;
+  }
 }
 
 TEST(Metis, RejectsNegativeTheta) {

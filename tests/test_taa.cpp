@@ -244,5 +244,25 @@ TEST(Taa, CapacityMismatchThrows) {
   EXPECT_THROW(run_taa(instance, ChargingPlan{{1, 2}}), std::invalid_argument);
 }
 
+TEST(Taa, ReportsIterationLimitDistinctFromInfeasible) {
+  const SpmInstance instance = capped_instance(12, 30, 3);
+  TaaOptions options;
+  options.lp.max_iterations = 1;
+  const TaaResult result =
+      run_taa(instance, uniform_caps(instance, 3), {}, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status, lp::SolveStatus::IterationLimit);
+  EXPECT_EQ(result.lp_stats.cold_starts, 1);
+}
+
+TEST(Taa, SolveStatsExposeRelaxationWork) {
+  const SpmInstance instance = capped_instance(13, 30, 3);
+  const TaaResult result = run_taa(instance, uniform_caps(instance, 3));
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.lp_stats.iterations, 0);
+  EXPECT_GE(result.lp_stats.factorizations, 1);
+  EXPECT_EQ(result.lp_stats.cold_starts, 1);
+}
+
 }  // namespace
 }  // namespace metis::core
