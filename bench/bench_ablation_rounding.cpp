@@ -1,19 +1,20 @@
 // Ablation — MAA rounding trials: Algorithm 1 uses a single randomized
 // rounding; keeping the cheapest of N roundings tames its variance at the
 // cost of N load computations.  Quantifies what Fig. 4b implies.
-#include <chrono>
 #include <iostream>
 
 #include "core/maa.h"
 #include "sim/scenario.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "util/telemetry.h"
 #include "bench_util.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace metis;
   const bool csv = bench::csv_mode(argc, argv);
+  const std::string telemetry_path = bench::take_telemetry_json_arg(argc, argv);
   sim::Scenario scenario;
   scenario.network = sim::Network::B4;
   scenario.num_requests = 200;
@@ -32,10 +33,9 @@ int main(int argc, char** argv) {
     double elapsed_ms = 0;
     for (int run = 0; run < 5; ++run) {
       Rng rng(100 + run);
-      const auto t0 = std::chrono::steady_clock::now();
+      const telemetry::Stopwatch timer;
       const core::MaaResult result = core::run_maa(instance, {}, rng, options);
-      const auto t1 = std::chrono::steady_clock::now();
-      elapsed_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
+      elapsed_ms += timer.ms();
       costs.add(result.cost);
       lp_cost = result.lp_cost;
     }
@@ -43,5 +43,6 @@ int main(int argc, char** argv) {
                    costs.max(), costs.mean() / lp_cost, elapsed_ms / 5});
   }
   bench::emit(table, csv, "");
+  bench::write_telemetry(telemetry_path);
   return 0;
 }

@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace metis;
   const bool csv = bench::csv_mode(argc, argv);
+  const std::string telemetry_path = bench::take_telemetry_json_arg(argc, argv);
   std::cout << "=== Ablation: TAA augmentation & Amoeba path diversity (B4) "
                "===\n\n";
   TablePrinter table({"requests", "caps", "TAA bare rev", "TAA+augment rev",
@@ -49,5 +50,6 @@ int main(int argc, char** argv) {
     }
   }
   bench::emit(table, csv, "");
+  bench::write_telemetry(telemetry_path);
   return 0;
 }

@@ -2,18 +2,19 @@
 // their actual needs", Section II.C): profit and runtime as the number of
 // alternation loops grows.  This is the paper's "easy-to-control" trade-off
 // between profit performance and computing time.
-#include <chrono>
 #include <iostream>
 
 #include "core/metis.h"
 #include "sim/scenario.h"
 #include "util/rng.h"
+#include "util/telemetry.h"
 #include "bench_util.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace metis;
   const bool csv = bench::csv_mode(argc, argv);
+  const std::string telemetry_path = bench::take_telemetry_json_arg(argc, argv);
   sim::Scenario scenario;
   scenario.network = sim::Network::B4;
   scenario.num_requests = 200;
@@ -31,15 +32,14 @@ int main(int argc, char** argv) {
     without.local_search = false;
     without.maa.rounding_trials = 1;
     Rng rng_with(7), rng_without(7);
-    const auto t0 = std::chrono::steady_clock::now();
+    const telemetry::Stopwatch timer;
     const core::MetisResult r_with = core::run_metis(instance, rng_with, with);
-    const auto t1 = std::chrono::steady_clock::now();
+    const double with_ms = timer.ms();
     const core::MetisResult r_without =
         core::run_metis(instance, rng_without, without);
     table.add_row({static_cast<long long>(theta), r_with.best.profit,
                    r_without.best.profit,
-                   static_cast<long long>(r_with.best.accepted),
-                   std::chrono::duration<double, std::milli>(t1 - t0).count()});
+                   static_cast<long long>(r_with.best.accepted), with_ms});
   }
   bench::emit(table, csv, "");
   std::cout << "Guards = SP-updater cleanups (reroute local search + profit\n"
@@ -55,14 +55,13 @@ int main(int argc, char** argv) {
     options.theta = 16;
     options.trim_units = trim;
     Rng rng(7);
-    const auto t0 = std::chrono::steady_clock::now();
+    const telemetry::Stopwatch timer;
     const core::MetisResult result = core::run_metis(instance, rng, options);
-    const auto t1 = std::chrono::steady_clock::now();
     trim_table.add_row({static_cast<long long>(trim), result.best.profit,
                         static_cast<long long>(result.best.accepted),
-                        std::chrono::duration<double, std::milli>(t1 - t0)
-                            .count()});
+                        timer.ms()});
   }
   bench::emit(trim_table, csv, "");
+  bench::write_telemetry(telemetry_path);
   return 0;
 }

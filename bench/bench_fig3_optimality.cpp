@@ -19,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace metis;
   const bool csv = bench::csv_mode(argc, argv);
+  const std::string telemetry_path = bench::take_telemetry_json_arg(argc, argv);
   sim::Fig3Config config;
   config.sweep.request_counts = {20, 40, 60, 80, 100, 150, 200};
   config.sweep.seed = 1;
@@ -75,5 +76,6 @@ int main(int argc, char** argv) {
                     r.opt_spm_ms, r.opt_rl_spm_ms});
   }
     bench::emit(timing, csv, "Section V.B.1 runtime note (OPT >> Metis)");
+  bench::write_telemetry(telemetry_path);
   return 0;
 }

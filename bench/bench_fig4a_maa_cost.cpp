@@ -13,6 +13,7 @@
 int main(int argc, char** argv) {
   using namespace metis;
   const bool csv = bench::csv_mode(argc, argv);
+  const std::string telemetry_path = bench::take_telemetry_json_arg(argc, argv);
   for (int trials : {1, 4}) {
     sim::Fig4aConfig config;
     config.sweep.request_counts = {100, 200, 300, 400};
@@ -32,5 +33,6 @@ int main(int argc, char** argv) {
     }
     bench::emit(table, csv, "");
   }
+  bench::write_telemetry(telemetry_path);
   return 0;
 }

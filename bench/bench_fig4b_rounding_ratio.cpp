@@ -41,6 +41,7 @@ void run(metis::sim::Fig4bConfig config, metis::TablePrinter& table) {
 int main(int argc, char** argv) {
   using namespace metis;
   const bool csv = bench::csv_mode(argc, argv);
+  const std::string telemetry_path = bench::take_telemetry_json_arg(argc, argv);
   const int threads = bench::threads_arg(argc, argv);
   TablePrinter table({"network", "requests", "trials", "reference",
                       "mean vs ILP", "p95 vs ILP", "max vs ILP",
@@ -73,5 +74,6 @@ int main(int argc, char** argv) {
   bench::emit(table, csv, "");
   std::cout << "The true rounding/optimal ratio lies between the ILP and LP\n"
                "columns (equal to the ILP column when reference is exact).\n";
+  bench::write_telemetry(telemetry_path);
   return 0;
 }

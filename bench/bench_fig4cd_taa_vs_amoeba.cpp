@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace metis;
   const bool csv = bench::csv_mode(argc, argv);
+  const std::string telemetry_path = bench::take_telemetry_json_arg(argc, argv);
   sim::Fig4cdConfig config;
   config.sweep.request_counts = {200, 400, 600, 800, 1000};
   config.sweep.seed = 1;
@@ -42,5 +43,6 @@ int main(int argc, char** argv) {
                                             : 0.0});
   }
     bench::emit(accepted, csv, "Fig. 4d: accepted requests");
+  bench::write_telemetry(telemetry_path);
   return 0;
 }

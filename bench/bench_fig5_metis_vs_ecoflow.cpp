@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace metis;
   const bool csv = bench::csv_mode(argc, argv);
+  const std::string telemetry_path = bench::take_telemetry_json_arg(argc, argv);
   sim::Fig5Config config;
   config.sweep.request_counts = {100, 150, 200, 250, 300};
   config.sweep.seed = 1;
@@ -56,5 +57,6 @@ int main(int argc, char** argv) {
                       : 0.0});
   }
     bench::emit(util, csv, "Fig. 5c: average link utilization");
+  bench::write_telemetry(telemetry_path);
   return 0;
 }

@@ -4,6 +4,7 @@
 // the substitution of Gurobi by our own solver (DESIGN.md section 2).
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "core/lp_builder.h"
 #include "core/metis.h"
 #include "lp/mip.h"
@@ -174,3 +175,16 @@ BENCHMARK(BM_MetisAlternation_B4)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+// Custom main (instead of benchmark_main): `--telemetry-json` must be
+// stripped before benchmark::Initialize, which rejects unknown flags.
+int main(int argc, char** argv) {
+  const std::string telemetry_path =
+      metis::bench::take_telemetry_json_arg(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  metis::bench::write_telemetry(telemetry_path);
+  return 0;
+}

@@ -11,6 +11,7 @@
 int main(int argc, char** argv) {
   using namespace metis;
   const bool csv = bench::csv_mode(argc, argv);
+  const std::string telemetry_path = bench::take_telemetry_json_arg(argc, argv);
   sim::SimulationConfig config;
   config.base.network = sim::Network::B4;
   config.base.num_requests = 150;
@@ -47,5 +48,6 @@ int main(int argc, char** argv) {
                     base != 0 ? outcome.total_profit / base : 0.0});
   }
     bench::emit(totals, csv, "cumulative");
+  bench::write_telemetry(telemetry_path);
   return 0;
 }

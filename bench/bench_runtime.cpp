@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "baselines/opt.h"
+#include "bench_util.h"
 #include "core/maa.h"
 #include "core/metis.h"
 #include "core/taa.h"
@@ -94,3 +95,16 @@ void BM_Taa_B4(benchmark::State& state) {
 BENCHMARK(BM_Taa_B4)->Arg(100)->Arg(200)->Arg(400)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+// Custom main (instead of benchmark_main): `--telemetry-json` must be
+// stripped before benchmark::Initialize, which rejects unknown flags.
+int main(int argc, char** argv) {
+  const std::string telemetry_path =
+      metis::bench::take_telemetry_json_arg(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  metis::bench::write_telemetry(telemetry_path);
+  return 0;
+}

@@ -60,6 +60,7 @@ Point run_cell(metis::sim::Scenario scenario, int rep) {
 int main(int argc, char** argv) {
   using namespace metis;
   const bool csv = bench::csv_mode(argc, argv);
+  const std::string telemetry_path = bench::take_telemetry_json_arg(argc, argv);
   const int threads = bench::threads_arg(argc, argv);
 
   const std::vector<double> fractions = {0.0, 0.1, 0.25, 0.4};
@@ -126,5 +127,6 @@ int main(int argc, char** argv) {
   std::cout << "Metis dominates accept-all across the sweep; the margin\n"
                "shrinks to ~1x only when no bargain segment exists (every\n"
                "bid profitable) and grows as declining matters more.\n";
+  bench::write_telemetry(telemetry_path);
   return 0;
 }

@@ -3,15 +3,20 @@
 // Every table bench accepts an optional `--csv` flag that switches output
 // from aligned ASCII tables to RFC-4180 CSV (for plotting scripts), and the
 // parallelized benches accept `--threads N` (0 = all hardware threads,
-// 1 = serial; output is byte-identical for every value).
+// 1 = serial; output is byte-identical for every value).  All benches
+// accept `--telemetry-json <path>` to dump the global telemetry registry
+// (counters, gauges, histograms, span tree) as JSON on exit.
 #pragma once
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 
 #include "util/table.h"
+#include "util/telemetry.h"
 
 namespace metis::bench {
 
@@ -35,6 +40,37 @@ inline int threads_arg(int argc, char** argv) {
     }
   }
   return 0;
+}
+
+/// Parses and REMOVES `--telemetry-json <path>` / `--telemetry-json=<path>`
+/// from argv; returns the path, or "" when absent.  Removal matters for the
+/// google-benchmark drivers, whose Initialize() rejects unknown flags.
+inline std::string take_telemetry_json_arg(int& argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--telemetry-json") == 0 && i + 1 < argc) {
+      path = argv[++i];
+    } else if (std::strncmp(argv[i], "--telemetry-json=", 17) == 0) {
+      path = argv[i] + 17;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  return path;
+}
+
+/// Writes the global telemetry registry to `path` as JSON.  No-op when
+/// `path` is empty.  With METIS_TELEMETRY=OFF this still writes valid JSON
+/// ({"telemetry": false}), so plotting scripts never see a missing file.
+inline void write_telemetry(const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open telemetry output: " + path);
+  telemetry::Registry::global().write_json(out);
+  out << '\n';
 }
 
 /// Prints the table in the selected format.  In CSV mode `title` becomes a

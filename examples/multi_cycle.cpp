@@ -7,11 +7,16 @@
 // per-cycle gaps of Fig. 3/5 compound into the yearly bottom line.
 //
 //   $ ./multi_cycle --cycles 6 --requests 120 --growth 0.15
+//
+// Pass --telemetry-json <path> to dump the run's telemetry registry
+// (per-phase spans, decide-latency histogram) as JSON.
+#include <fstream>
 #include <iostream>
 
 #include "sim/simulator.h"
 #include "util/args.h"
 #include "util/table.h"
+#include "util/telemetry.h"
 
 int main(int argc, char** argv) {
   using namespace metis;
@@ -22,6 +27,7 @@ int main(int argc, char** argv) {
   config.base.seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
   config.cycles = args.get_int("cycles", 6);
   config.demand_growth = args.get_double("growth", 0.15);
+  const std::string telemetry_path = args.get("telemetry-json", "");
   if (args.help_requested()) {
     std::cout << args.usage("multi_cycle: cumulative profit over billing cycles");
     return 0;
@@ -60,5 +66,11 @@ int main(int argc, char** argv) {
   }
   std::cout << "--- cumulative over the year ---\n";
   totals.print(std::cout);
+
+  if (!telemetry_path.empty()) {
+    std::ofstream out(telemetry_path);
+    telemetry::Registry::global().write_json(out);
+    out << '\n';
+  }
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include "core/lp_builder.h"
 #include "util/parallel.h"
+#include "util/telemetry.h"
 
 namespace metis::core {
 
@@ -53,6 +54,8 @@ MaaResult run_maa(const SpmInstance& instance, const std::vector<bool>& accepted
   if (options.rounding_trials < 1) {
     throw std::invalid_argument("MaaOptions: rounding_trials must be >= 1");
   }
+  METIS_SPAN("maa");
+  telemetry::count("maa.solves");
   std::vector<bool> accepted = accepted_in;
   if (accepted.empty()) accepted.assign(instance.num_requests(), true);
 
@@ -78,6 +81,8 @@ MaaResult run_maa(const SpmInstance& instance, const std::vector<bool>& accepted
   result.alpha = alpha;
 
   // Stages 2+3, keeping the cheapest of `rounding_trials` roundings.
+  METIS_SPAN("rounding");
+  telemetry::count("maa.rounding_trials", options.rounding_trials);
   const auto keep = [&](Schedule candidate) {
     result.plan = charging_from_loads(compute_loads(instance, candidate));
     result.cost = cost(instance.topology(), result.plan);

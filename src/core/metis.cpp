@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "util/log.h"
+#include "util/telemetry.h"
 
 namespace metis::core {
 
@@ -206,6 +207,8 @@ int reroute_cheaper(const SpmInstance& instance, Schedule& schedule) {
 MetisResult run_metis(const SpmInstance& instance, Rng& rng,
                       const MetisOptions& options) {
   if (options.theta < 0) throw std::invalid_argument("Metis: theta must be >= 0");
+  METIS_SPAN("metis");
+  telemetry::count("metis.runs");
   // Convergence mode (theta == 0): run the paper's worst-case bound of K
   // loops (Section II.C), with the usual early exits when the accepted set
   // empties or no bandwidth is left to trim.
@@ -232,6 +235,7 @@ MetisResult run_metis(const SpmInstance& instance, Rng& rng,
       // SP-updater guards: also consider the cleaned-up variant of the
       // candidate (reroute onto cheaper paths, drop value-negative
       // requests) — never worse than the candidate itself.
+      METIS_SPAN("sp_update");
       Schedule improved = schedule;
       int changes = 0;
       if (options.local_search) changes += reroute_cheaper(instance, improved);
@@ -308,6 +312,12 @@ MetisResult run_metis(const SpmInstance& instance, Rng& rng,
     iter.accepted_after_taa = taa.schedule.num_accepted();
     result.history.push_back(iter);
     ++result.iterations_run;
+    // Per-round alternation trajectory: last-value gauges plus a round
+    // counter, so a telemetry export shows where the loop settled.
+    telemetry::count("metis.rounds");
+    telemetry::gauge_set("metis.profit", result.best.profit);
+    telemetry::gauge_set("metis.cost", result.best.cost);
+    telemetry::gauge_set("metis.accepted", result.best.accepted);
 
     // The declined requests leave the working set (convergence argument of
     // Section II.C).

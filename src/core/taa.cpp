@@ -9,6 +9,7 @@
 #include "core/estimator.h"
 #include "core/lp_builder.h"
 #include "util/log.h"
+#include "util/telemetry.h"
 
 namespace metis::core {
 
@@ -43,6 +44,8 @@ TaaResult run_taa(const SpmInstance& instance, const ChargingPlan& capacities,
   if (static_cast<int>(capacities.units.size()) != instance.num_edges()) {
     throw std::invalid_argument("run_taa: capacity size mismatch");
   }
+  METIS_SPAN("taa");
+  telemetry::count("taa.solves");
   std::vector<bool> accepted = accepted_in;
   if (accepted.empty()) accepted.assign(instance.num_requests(), true);
 
@@ -122,31 +125,37 @@ TaaResult run_taa(const SpmInstance& instance, const ChargingPlan& capacities,
   result.revenue_floor = config.i_b * v_max;
 
   // Step 4: derandomized walk down the decision tree.
-  PessimisticEstimator estimator(instance, capacities, x_hat, accepted, config);
   LoadMatrix loads(instance.num_edges(), instance.num_slots());
-  for (int i = 0; i < instance.num_requests(); ++i) {
-    if (!accepted[i]) continue;
-    int best_choice = kDeclined;
-    double best_u = estimator.candidate_value(i, kDeclined);
-    for (int j = 0; j < instance.num_paths(i); ++j) {
-      if (!fits(instance, capacities, loads, i, j)) continue;  // hard guard
-      const double u = estimator.candidate_value(i, j);
-      if (u < best_u - 1e-15) {
-        best_u = u;
-        best_choice = j;
+  {
+    METIS_SPAN("walk");
+    PessimisticEstimator estimator(instance, capacities, x_hat, accepted,
+                                   config);
+    for (int i = 0; i < instance.num_requests(); ++i) {
+      if (!accepted[i]) continue;
+      int best_choice = kDeclined;
+      double best_u = estimator.candidate_value(i, kDeclined);
+      for (int j = 0; j < instance.num_paths(i); ++j) {
+        if (!fits(instance, capacities, loads, i, j)) continue;  // hard guard
+        const double u = estimator.candidate_value(i, j);
+        if (u < best_u - 1e-15) {
+          best_u = u;
+          best_choice = j;
+        }
+      }
+      estimator.fix(i, best_choice);
+      if (best_choice != kDeclined) {
+        commit(instance, loads, i, best_choice);
+        result.schedule.path_choice[i] = best_choice;
+        ++result.walk_accepted;
       }
     }
-    estimator.fix(i, best_choice);
-    if (best_choice != kDeclined) {
-      commit(instance, loads, i, best_choice);
-      result.schedule.path_choice[i] = best_choice;
-      ++result.walk_accepted;
-    }
   }
+  telemetry::count("taa.walk_accepted", result.walk_accepted);
 
   // Optional greedy augmentation: re-admit declined requests that still fit
   // (highest value first) — a pure revenue improvement.
   if (options.augment) {
+    METIS_SPAN("augment");
     std::vector<int> declined;
     for (int i = 0; i < instance.num_requests(); ++i) {
       if (accepted[i] && !result.schedule.accepted(i)) declined.push_back(i);
@@ -166,6 +175,7 @@ TaaResult run_taa(const SpmInstance& instance, const ChargingPlan& capacities,
     }
   }
 
+  telemetry::count("taa.augment_accepted", result.augment_accepted);
   result.revenue = revenue(instance, result.schedule);
   return result;
 }

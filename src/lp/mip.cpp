@@ -1,13 +1,13 @@
 #include "lp/mip.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <optional>
 #include <queue>
 #include <stdexcept>
 
 #include "util/log.h"
+#include "util/telemetry.h"
 
 namespace metis::lp {
 
@@ -44,12 +44,11 @@ MipResult MipSolver::solve(const LinearProblem& problem,
       throw std::invalid_argument("MipSolver: bad integer column index");
     }
   }
-  const auto start = std::chrono::steady_clock::now();
+  METIS_SPAN("mip_solve");
+  const telemetry::Stopwatch timer;
   const auto out_of_time = [&] {
     if (options_.time_limit_seconds <= 0) return false;
-    const auto elapsed = std::chrono::duration<double>(
-        std::chrono::steady_clock::now() - start);
-    return elapsed.count() > options_.time_limit_seconds;
+    return timer.seconds() > options_.time_limit_seconds;
   };
 
   // Work in minimization form; flip back at the end.
@@ -311,6 +310,9 @@ MipResult MipSolver::solve(const LinearProblem& problem,
                                                         : stop_reason;
     result.best_bound = sign * best_open_bound;
   }
+  telemetry::count("mip.solves");
+  telemetry::count("mip.nodes", result.nodes);
+  telemetry::observe("mip.solve_ms", timer.ms());
   return result;
 }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/telemetry.h"
+
 namespace metis::lp {
 
 namespace {
@@ -204,6 +206,7 @@ std::vector<int> PresolveResult::map_columns(
 }
 
 PresolveResult presolve(const LinearProblem& problem, double tol) {
+  METIS_SPAN("presolve");
   problem.validate();
   Work w = load(problem);
   PresolveResult result;
@@ -329,6 +332,9 @@ PresolveResult presolve(const LinearProblem& problem, double tol) {
     result.row_map[r] =
         result.reduced.add_row(row.type, row.rhs, std::move(entries));
   }
+  telemetry::count("presolve.runs");
+  telemetry::count("presolve.removed_rows", result.removed_rows);
+  telemetry::count("presolve.removed_cols", result.removed_columns);
   return result;
 }
 

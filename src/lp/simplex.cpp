@@ -1,7 +1,6 @@
 #include "lp/simplex.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <map>
 #include <stdexcept>
@@ -10,6 +9,7 @@
 
 #include "lp/presolve.h"
 #include "util/log.h"
+#include "util/telemetry.h"
 
 namespace metis::lp {
 
@@ -382,7 +382,7 @@ class Engine {
       if (!t_.artificials.empty()) {
         std::vector<double> phase1(t_.num_cols(), 0.0);
         for (int a : t_.artificials) phase1[a] = 1.0;
-        const SolveStatus s1 = iterate(phase1, /*phase1=*/true);
+        const SolveStatus s1 = timed_iterate(phase1, /*phase1=*/true);
         if (s1 != SolveStatus::Optimal) {
           out.status = s1;
           finish_stats(out);
@@ -405,7 +405,7 @@ class Engine {
     }
     // Grow the cost vector to cover artificial columns (cost 0).
     cost_.resize(t_.num_cols(), 0.0);
-    const SolveStatus s2 = iterate(cost_, /*phase1=*/false);
+    const SolveStatus s2 = timed_iterate(cost_, /*phase1=*/false);
     out.status = s2;
     finish_stats(out);
     if (s2 != SolveStatus::Optimal) return out;
@@ -558,6 +558,13 @@ class Engine {
   }
 
   /// One simplex phase.  Returns Optimal, Unbounded or IterationLimit.
+  /// iterate() under a per-phase trace span, so lp_solve/phase1 vs /phase2
+  /// pivot time is separable in the telemetry export.
+  SolveStatus timed_iterate(const std::vector<double>& c, bool phase1) {
+    METIS_SPAN(phase1 ? "phase1" : "phase2");
+    return iterate(c, phase1);
+  }
+
   SolveStatus iterate(const std::vector<double>& c, bool phase1) {
     int degenerate_run = 0;
     while (true) {
@@ -778,7 +785,8 @@ LpSolution SimplexSolver::solve(const LinearProblem& problem) const {
 
 LpSolution SimplexSolver::solve(const LinearProblem& problem,
                                 Basis* basis) const {
-  const auto start = std::chrono::steady_clock::now();
+  const telemetry::Stopwatch timer;
+  METIS_SPAN("lp_solve");
   problem.validate();
   LpSolution sol;
   bool warm_used = false;
@@ -848,9 +856,12 @@ LpSolution SimplexSolver::solve(const LinearProblem& problem,
   } else {
     sol.stats.cold_starts = 1;
   }
-  sol.stats.solve_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  sol.stats.solve_seconds = timer.seconds();
+  telemetry::count("lp.solves");
+  telemetry::count("lp.iterations", sol.stats.iterations);
+  telemetry::count("lp.factorizations", sol.stats.factorizations);
+  telemetry::count(warm_used ? "lp.warm_starts" : "lp.cold_starts");
+  telemetry::observe("lp.solve_ms", timer.ms());
   return sol;
 }
 

@@ -1,11 +1,11 @@
 #include "sim/simulator.h"
 
-#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
 #include "sim/validate.h"
 #include "util/parallel.h"
+#include "util/telemetry.h"
 
 namespace metis::sim {
 
@@ -57,9 +57,12 @@ std::vector<PolicyOutcome> BillingCycleSimulator::run(
         const std::size_t p = static_cast<std::size_t>(index % num_policies);
         const core::SpmInstance instance = cycle_instance(cycle);
         Rng rng(config_.base.seed * 104729 + cycle * 31 + p * 7 + 1);
-        const auto t0 = std::chrono::steady_clock::now();
-        const Decision decision = policies[p]->decide(instance, rng);
-        const auto t1 = std::chrono::steady_clock::now();
+        const telemetry::Stopwatch decide_timer;
+        const Decision decision = [&] {
+          METIS_SPAN("cycle_decide");
+          return policies[p]->decide(instance, rng);
+        }();
+        const double decide_ms = decide_timer.ms();
 
         const auto violations =
             check_schedule(instance, decision.schedule, decision.plan);
@@ -80,8 +83,9 @@ std::vector<PolicyOutcome> BillingCycleSimulator::run(
         co.offered_requests = instance.num_requests();
         co.result = core::evaluate_with_plan(instance, decision.schedule,
                                              decision.plan);
-        co.decide_ms =
-            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        co.decide_ms = decide_ms;
+        telemetry::observe("sim.decide_ms", co.decide_ms);
+        telemetry::count("sim.cycle_cells");
         return co;
       },
       config_.threads);

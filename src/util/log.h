@@ -18,7 +18,9 @@ void log_message(LogLevel level, const std::string& message);
 
 namespace internal {
 /// Stream-style helper: LogLine(LogLevel::Info) << "x=" << x; emits on
-/// destruction.
+/// destruction.  Construct it only behind a level check — the METIS_LOG
+/// macro below gates at the call site so a filtered line never builds the
+/// ostringstream or evaluates its stream operands.
 class LogLine {
  public:
   explicit LogLine(LogLevel level) : level_(level) {}
@@ -36,9 +38,22 @@ class LogLine {
   LogLevel level_;
   std::ostringstream stream_;
 };
+
+/// `voidify & stream-chain` turns the chain into a void expression so both
+/// ternary branches in METIS_LOG agree; & binds looser than <<, so every
+/// stream operand attaches to the LogLine first.
+struct LogVoidify {
+  void operator&(const LogLine&) {}
+};
 }  // namespace internal
 
-#define METIS_LOG(level) ::metis::internal::LogLine(level)
+/// Filtered lines short-circuit before the LogLine exists: no stream is
+/// constructed and no operand expression is evaluated (a METIS_LOG_DEBUG in
+/// a hot loop costs one atomic load when Debug is off).
+#define METIS_LOG(level)                                              \
+  (static_cast<int>(level) < static_cast<int>(::metis::log_level()))  \
+      ? (void)0                                                       \
+      : ::metis::internal::LogVoidify() & ::metis::internal::LogLine(level)
 #define METIS_LOG_INFO METIS_LOG(::metis::LogLevel::Info)
 #define METIS_LOG_WARN METIS_LOG(::metis::LogLevel::Warn)
 #define METIS_LOG_DEBUG METIS_LOG(::metis::LogLevel::Debug)

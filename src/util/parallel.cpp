@@ -4,6 +4,8 @@
 #include <atomic>
 #include <exception>
 
+#include "util/telemetry.h"
+
 namespace metis {
 
 namespace {
@@ -106,9 +108,13 @@ void ThreadPool::run(int n, int max_workers,
   if (n <= 0) return;
   if (n == 1 || max_workers <= 1 || tls_in_parallel_region ||
       workers_.empty()) {
+    telemetry::count("pool.inline_runs");
+    telemetry::count("pool.tasks", n);
     for (int i = 0; i < n; ++i) body(i);
     return;
   }
+  telemetry::count("pool.runs");
+  telemetry::count("pool.tasks", n);
   std::lock_guard<std::mutex> serialize(run_mu_);
   Job job;
   job.body = &body;
@@ -118,6 +124,9 @@ void ThreadPool::run(int n, int max_workers,
   // more slots than indices (a worker with nothing to claim just spins off).
   job.slots.store(std::min({max_workers - 1,
                             static_cast<int>(workers_.size()), n - 1}));
+  // Queue depth = indices waiting at launch; workers = caller + slots.
+  telemetry::gauge_set("pool.queue_depth", n);
+  telemetry::gauge_set("pool.workers", job.slots.load() + 1);
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_ = &job;

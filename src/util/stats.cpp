@@ -40,7 +40,9 @@ void Accumulator::add(double x) {
 }
 
 double Accumulator::variance() const {
-  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+  // Bessel-corrected sample variance: the benches feed this with small
+  // trial counts (n = 2..5), where dividing by n biases stddev low.
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
 }
 
 double Accumulator::stddev() const { return std::sqrt(variance()); }

@@ -13,7 +13,7 @@ struct Summary {
   double min = 0;
   double max = 0;
   double mean = 0;
-  double stddev = 0;  ///< population standard deviation
+  double stddev = 0;  ///< sample standard deviation (Bessel, n-1; 0 for n<2)
   double sum = 0;
 };
 
@@ -29,7 +29,7 @@ class Accumulator {
   void add(double x);
   std::size_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
-  double variance() const;  ///< population variance
+  double variance() const;  ///< sample variance (Bessel, n-1; 0 for n<2)
   double stddev() const;
   double min() const { return min_; }
   double max() const { return max_; }

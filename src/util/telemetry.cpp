@@ -1,0 +1,417 @@
+#include "util/telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace metis::telemetry {
+
+#if METIS_TELEMETRY_ENABLED
+
+namespace {
+
+/// Current thread's open-span path ("metis/maa/lp_solve").  Each thread —
+/// caller or pool worker — nests independently.
+thread_local std::string tls_span_path;
+
+std::vector<double> default_bounds() {
+  // Decade/half-decade grid sized for millisecond-scale observations.
+  return {0.1, 0.5, 1, 5, 10, 50, 100, 500, 1000, 5000, 10000};
+}
+
+void write_json_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Doubles rendered round-trip exact; non-finite values become null (JSON
+/// has no NaN/Inf).
+void write_json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+/// One node of the span tree rebuilt from slash-joined paths at export time.
+struct SpanNode {
+  SpanStats stats;
+  std::map<std::string, SpanNode> children;
+};
+
+}  // namespace
+
+struct Registry::Impl {
+  // std::map keeps export order deterministic (sorted by name); values are
+  // pointers so handed-out references survive rehashing-free anyway, but
+  // node-based maps also never move values.
+  std::map<std::string, Counter, std::less<>> counters;
+  std::map<std::string, Gauge, std::less<>> gauges;
+  std::map<std::string, Histogram, std::less<>> histograms;
+  std::map<std::string, SpanStats, std::less<>> spans;
+};
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(bounds.empty() ? default_bounds() : std::move(bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::invalid_argument("Histogram: bounds must strictly increase");
+    }
+  }
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  samples_.push_back(v);
+}
+
+std::size_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_.size();
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_.empty()
+             ? 0.0
+             : *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_.empty()
+             ? 0.0
+             : *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double total = 0;
+  for (double v : samples_) total += v;
+  return total;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (samples_.empty()) return 0;
+  double total = 0;
+  for (double v : samples_) total += v;
+  return total / static_cast<double>(samples_.size());
+}
+
+double Histogram::percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (samples_.empty()) return 0;
+  return metis::percentile(samples_, p);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_;
+}
+
+std::vector<double> Histogram::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  samples_.clear();
+}
+
+Registry& Registry::global() {
+  // Intentionally leaked: telemetry may be recorded from static teardown
+  // (e.g. the shared ThreadPool's destructor), which must never race a
+  // destroyed registry.
+  static Registry* r = new Registry();
+  return *r;
+}
+
+Registry::~Registry() { delete impl_; }
+
+Registry::Impl* Registry::impl() {
+  if (!impl_) impl_ = new Impl();
+  return impl_;
+}
+
+const Registry::Impl* Registry::impl() const {
+  return const_cast<Registry*>(this)->impl();
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& counters = impl()->counters;
+  auto it = counters.find(name);
+  if (it == counters.end()) {
+    it = counters.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& gauges = impl()->gauges;
+  auto it = gauges.find(name);
+  if (it == gauges.end()) {
+    it = gauges.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& histograms = impl()->histograms;
+  auto it = histograms.find(name);
+  if (it == histograms.end()) {
+    it = histograms.try_emplace(std::string(name), std::move(bounds)).first;
+  }
+  return it->second;
+}
+
+void Registry::record_span(std::string_view path, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& spans = impl()->spans;
+  auto it = spans.find(path);
+  if (it == spans.end()) {
+    it = spans.try_emplace(std::string(path)).first;
+  }
+  SpanStats& s = it->second;
+  if (s.count == 0) {
+    s.min_seconds = s.max_seconds = seconds;
+  } else {
+    s.min_seconds = std::min(s.min_seconds, seconds);
+    s.max_seconds = std::max(s.max_seconds, seconds);
+  }
+  ++s.count;
+  s.total_seconds += seconds;
+}
+
+SpanStats Registry::span(std::string_view path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto& spans = impl()->spans;
+  const auto it = spans.find(path);
+  return it == spans.end() ? SpanStats{} : it->second;
+}
+
+std::vector<std::string> Registry::span_paths() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> paths;
+  for (const auto& [path, stats] : impl()->spans) paths.push_back(path);
+  return paths;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!impl_) return;
+  for (auto& [name, c] : impl_->counters) c.reset();
+  for (auto& [name, g] : impl_->gauges) g.reset();
+  for (auto& [name, h] : impl_->histograms) h.reset();
+  impl_->spans.clear();
+}
+
+namespace {
+
+void write_span_node(std::ostream& os, const std::string& name,
+                     const SpanNode& node) {
+  os << "{\"name\":";
+  write_json_escaped(os, name);
+  os << ",\"count\":" << node.stats.count << ",\"total_ms\":";
+  write_json_number(os, node.stats.total_seconds * 1e3);
+  os << ",\"mean_ms\":";
+  write_json_number(os, node.stats.count
+                            ? node.stats.total_seconds * 1e3 /
+                                  static_cast<double>(node.stats.count)
+                            : 0.0);
+  os << ",\"min_ms\":";
+  write_json_number(os, node.stats.min_seconds * 1e3);
+  os << ",\"max_ms\":";
+  write_json_number(os, node.stats.max_seconds * 1e3);
+  os << ",\"children\":[";
+  bool first = true;
+  for (const auto& [child_name, child] : node.children) {
+    if (!first) os << ',';
+    first = false;
+    write_span_node(os, child_name, child);
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+void Registry::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Impl* i = impl();
+  os << "{\"telemetry\":true,\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : i->counters) {
+    if (!first) os << ',';
+    first = false;
+    write_json_escaped(os, name);
+    os << ':' << c.value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : i->gauges) {
+    if (!first) os << ',';
+    first = false;
+    write_json_escaped(os, name);
+    os << ':';
+    write_json_number(os, g.value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : i->histograms) {
+    if (!first) os << ',';
+    first = false;
+    write_json_escaped(os, name);
+    os << ":{\"count\":" << h.count() << ",\"min\":";
+    write_json_number(os, h.min());
+    os << ",\"max\":";
+    write_json_number(os, h.max());
+    os << ",\"mean\":";
+    write_json_number(os, h.mean());
+    os << ",\"p50\":";
+    write_json_number(os, h.percentile(50));
+    os << ",\"p90\":";
+    write_json_number(os, h.percentile(90));
+    os << ",\"p95\":";
+    write_json_number(os, h.percentile(95));
+    os << ",\"p99\":";
+    write_json_number(os, h.percentile(99));
+    os << ",\"buckets\":[";
+    const auto& bounds = h.bucket_bounds();
+    const auto counts = h.bucket_counts();
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+      if (b) os << ',';
+      os << "{\"le\":";
+      if (b < bounds.size()) {
+        write_json_number(os, bounds[b]);
+      } else {
+        os << "null";  // overflow bucket
+      }
+      os << ",\"count\":" << counts[b] << '}';
+    }
+    os << "]}";
+  }
+  os << "},\"spans\":[";
+  // Rebuild the nested tree from the flat slash-joined paths.
+  SpanNode root;
+  for (const auto& [path, stats] : i->spans) {
+    SpanNode* node = &root;
+    std::size_t begin = 0;
+    while (begin <= path.size()) {
+      const std::size_t end = path.find('/', begin);
+      const std::string component =
+          path.substr(begin, end == std::string::npos ? end : end - begin);
+      node = &node->children[component];
+      if (end == std::string::npos) break;
+      begin = end + 1;
+    }
+    node->stats = stats;
+  }
+  first = true;
+  for (const auto& [name, node] : root.children) {
+    if (!first) os << ',';
+    first = false;
+    write_span_node(os, name, node);
+  }
+  os << "]}";
+}
+
+std::string Registry::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+std::string Registry::to_table() const {
+  std::ostringstream out;
+  std::lock_guard<std::mutex> lock(mu_);
+  const Impl* i = impl();
+  if (!i->counters.empty()) {
+    TablePrinter t({"counter", "value"});
+    for (const auto& [name, c] : i->counters) {
+      t.add_row({name, static_cast<long long>(c.value())});
+    }
+    out << t.to_string() << '\n';
+  }
+  if (!i->gauges.empty()) {
+    TablePrinter t({"gauge", "value"});
+    for (const auto& [name, g] : i->gauges) t.add_row({name, g.value()});
+    out << t.to_string() << '\n';
+  }
+  if (!i->histograms.empty()) {
+    TablePrinter t({"histogram", "count", "mean", "p50", "p95", "max"});
+    for (const auto& [name, h] : i->histograms) {
+      t.add_row({name, static_cast<long long>(h.count()), h.mean(),
+                 h.percentile(50), h.percentile(95), h.max()});
+    }
+    out << t.to_string() << '\n';
+  }
+  if (!i->spans.empty()) {
+    TablePrinter t({"span", "count", "total ms", "mean ms", "min ms",
+                    "max ms"});
+    for (const auto& [path, s] : i->spans) {
+      t.add_row({path, static_cast<long long>(s.count), s.total_seconds * 1e3,
+                 s.count ? s.total_seconds * 1e3 / static_cast<double>(s.count)
+                         : 0.0,
+                 s.min_seconds * 1e3, s.max_seconds * 1e3});
+    }
+    out << t.to_string() << '\n';
+  }
+  if (out.str().empty()) out << "(no telemetry recorded)\n";
+  return out.str();
+}
+
+ScopedSpan::ScopedSpan(std::string_view name)
+    : parent_length_(tls_span_path.size()) {
+  if (!tls_span_path.empty()) tls_span_path.push_back('/');
+  tls_span_path.append(name);
+}
+
+ScopedSpan::~ScopedSpan() {
+  Registry::global().record_span(tls_span_path, timer_.seconds());
+  tls_span_path.resize(parent_length_);
+}
+
+#else  // !METIS_TELEMETRY_ENABLED
+
+void Registry::write_json(std::ostream& os) const {
+  os << "{\"telemetry\":false}";
+}
+
+#endif  // METIS_TELEMETRY_ENABLED
+
+}  // namespace metis::telemetry

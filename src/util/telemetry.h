@@ -1,0 +1,304 @@
+// Process-wide telemetry: a thread-safe metrics registry (counters, gauges,
+// fixed-bucket histograms with exact percentile queries) plus RAII trace
+// spans with parent-child nesting, exportable as JSON and as an aligned text
+// table.
+//
+// This is the one home for every wall-clock measurement and work counter in
+// the repo — it subsumes the hand-rolled `steady_clock` snippets that used
+// to live in simplex.cpp, mip.cpp, the simulator, the experiment sweeps and
+// the bench drivers.  The span taxonomy (which layer opens which span, and
+// how paths nest) is documented in DESIGN.md §5 and docs/ALGORITHMS.md §8.
+//
+// Concurrency contract:
+//   * Counter/Gauge updates are lock-free atomics; Histogram::observe and
+//     span recording take a short registry/value lock.  All are safe to
+//     call from ThreadPool workers concurrently.
+//   * Handles returned by Registry::{counter,gauge,histogram} stay valid
+//     for the process lifetime; Registry::reset() zeroes values but never
+//     invalidates a handle, so call sites may cache references in function
+//     local statics.
+//   * Spans nest per thread: a span opened on a ThreadPool worker starts a
+//     fresh root path on that worker (parallel bodies therefore record
+//     counters/histograms, not spans — see util/parallel.h's determinism
+//     contract for why bodies must not depend on the calling context).
+//
+// Compile-out: configure with -DMETIS_TELEMETRY=OFF and every registry and
+// span operation becomes an empty inline stub (zero overhead, zero
+// branches); Stopwatch — plain monotonic timing with no global state —
+// stays available in both modes because time limits (lp/mip.cpp) and
+// reported wall-clock columns need it regardless.  Profit/cost outputs are
+// identical in both modes: telemetry only observes, it never steers.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#if defined(METIS_TELEMETRY_DISABLED)
+#define METIS_TELEMETRY_ENABLED 0
+#else
+#define METIS_TELEMETRY_ENABLED 1
+#endif
+
+namespace metis::telemetry {
+
+/// True when the registry/span machinery is compiled in.
+constexpr bool enabled() { return METIS_TELEMETRY_ENABLED != 0; }
+
+/// Monotonic wall-clock stopwatch.  Always available (even with telemetry
+/// compiled out): this is the single sanctioned `steady_clock` wrapper.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+  void reset() { start_ = Clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ms() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Aggregate of one span path (all completed spans with the same nesting).
+struct SpanStats {
+  std::uint64_t count = 0;
+  double total_seconds = 0;
+  double min_seconds = 0;
+  double max_seconds = 0;
+};
+
+#if METIS_TELEMETRY_ENABLED
+
+/// Monotonically increasing event count (lock-free).
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-value metric (lock-free).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram that also retains every sample, so bucket counts
+/// are cheap to display while percentile queries stay exact
+/// (metis::percentile over the raw sample, not a bucket interpolation).
+class Histogram {
+ public:
+  /// `bounds` are inclusive upper bucket edges, strictly increasing; one
+  /// implicit overflow bucket follows the last edge.  Empty bounds select
+  /// the default decade/half-decade grid (0.1 .. 10000, for millisecond
+  /// style data).
+  explicit Histogram(std::vector<double> bounds = {});
+
+  void observe(double v);
+
+  std::size_t count() const;
+  double min() const;
+  double max() const;
+  double mean() const;
+  double sum() const;
+  /// Exact linear-interpolation percentile of everything observed, p in
+  /// [0, 100]; returns 0 when empty.
+  double percentile(double p) const;
+  const std::vector<double>& bucket_bounds() const { return bounds_; }
+  /// Bucket counts, size bounds.size() + 1 (last = overflow).
+  std::vector<std::uint64_t> bucket_counts() const;
+  /// Copy of the raw samples in observation order (per thread arrival).
+  std::vector<double> samples() const;
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::vector<double> samples_;
+};
+
+/// The process-wide metric store.  All members are thread-safe.
+class Registry {
+ public:
+  /// The global registry (never destroyed: safe to record into from static
+  /// destructors such as ThreadPool::shared()'s teardown).
+  static Registry& global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+  ~Registry();
+
+  /// Returns the named metric, creating it on first use.  The reference
+  /// stays valid for the registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, std::vector<double> bounds = {});
+
+  /// Folds one completed span occurrence into the aggregate for `path`
+  /// (ScopedSpan calls this; tests may call it directly).
+  void record_span(std::string_view path, double seconds);
+  /// Aggregate for one exact span path ("metis/maa/lp_solve"); zeroed
+  /// SpanStats when the path has never completed.
+  SpanStats span(std::string_view path) const;
+  /// All span paths seen so far, sorted.
+  std::vector<std::string> span_paths() const;
+
+  /// Zeroes every counter/gauge/histogram and drops span aggregates.
+  /// Handles remain valid.
+  void reset();
+
+  /// JSON export: {"telemetry":true,"counters":{...},"gauges":{...},
+  /// "histograms":{...},"spans":[...nested tree...]}.  Deterministic key
+  /// order (sorted names).  Never emits NaN/Inf (clamped to null).
+  void write_json(std::ostream& os) const;
+  std::string to_json() const;
+
+  /// Aligned text tables (one block per metric kind), for humans.
+  std::string to_table() const;
+
+ private:
+  struct Impl;
+  Impl* impl();
+  const Impl* impl() const;
+  mutable std::mutex mu_;
+  // Pointer-pimpl keeps <map> and friends out of this widely-included
+  // header; allocated on first use, freed in ~Registry.
+  Impl* impl_ = nullptr;
+};
+
+/// RAII trace span.  Opening a span pushes `name` (one path component, no
+/// '/') onto the current thread's span path; destruction pops it and folds
+/// the elapsed time into Registry::global() under the full nested path,
+/// e.g. ScopedSpan("metis") { ScopedSpan("maa") } records "metis/maa".
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Elapsed time so far (the recorded value once destroyed).
+  double seconds() const { return timer_.seconds(); }
+
+ private:
+  Stopwatch timer_;
+  std::size_t parent_length_;  ///< thread path length to restore on close
+};
+
+// ---- convenience free functions on the global registry -------------------
+
+inline void count(std::string_view name, std::int64_t delta = 1) {
+  Registry::global().counter(name).add(delta);
+}
+inline void gauge_set(std::string_view name, double v) {
+  Registry::global().gauge(name).set(v);
+}
+inline void observe(std::string_view name, double v) {
+  Registry::global().histogram(name).observe(v);
+}
+
+#else  // !METIS_TELEMETRY_ENABLED — zero-cost stubs with the same API.
+
+class Counter {
+ public:
+  void add(std::int64_t = 1) {}
+  std::int64_t value() const { return 0; }
+  void reset() {}
+};
+
+class Gauge {
+ public:
+  void set(double) {}
+  double value() const { return 0; }
+  void reset() {}
+};
+
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> = {}) {}
+  void observe(double) {}
+  std::size_t count() const { return 0; }
+  double min() const { return 0; }
+  double max() const { return 0; }
+  double mean() const { return 0; }
+  double sum() const { return 0; }
+  double percentile(double) const { return 0; }
+  const std::vector<double>& bucket_bounds() const {
+    static const std::vector<double> kEmpty;
+    return kEmpty;
+  }
+  std::vector<std::uint64_t> bucket_counts() const { return {}; }
+  std::vector<double> samples() const { return {}; }
+  void reset() {}
+};
+
+class Registry {
+ public:
+  static Registry& global() {
+    static Registry r;
+    return r;
+  }
+  Counter& counter(std::string_view) { return counter_; }
+  Gauge& gauge(std::string_view) { return gauge_; }
+  Histogram& histogram(std::string_view, std::vector<double> = {}) {
+    return histogram_;
+  }
+  void record_span(std::string_view, double) {}
+  SpanStats span(std::string_view) const { return {}; }
+  std::vector<std::string> span_paths() const { return {}; }
+  void reset() {}
+  void write_json(std::ostream& os) const;
+  std::string to_json() const { return "{\"telemetry\":false}"; }
+  std::string to_table() const { return "(telemetry compiled out)\n"; }
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+};
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view) {}
+  double seconds() const { return 0; }
+};
+
+inline void count(std::string_view, std::int64_t = 1) {}
+inline void gauge_set(std::string_view, double) {}
+inline void observe(std::string_view, double) {}
+
+#endif  // METIS_TELEMETRY_ENABLED
+
+/// Statement macro for the common case; compiles to nothing when telemetry
+/// is off.  `name` must be a single path component (no '/').
+#if METIS_TELEMETRY_ENABLED
+#define METIS_TELEMETRY_CONCAT_INNER(a, b) a##b
+#define METIS_TELEMETRY_CONCAT(a, b) METIS_TELEMETRY_CONCAT_INNER(a, b)
+#define METIS_SPAN(name)                  \
+  ::metis::telemetry::ScopedSpan METIS_TELEMETRY_CONCAT(metis_span_, \
+                                                        __LINE__)(name)
+#else
+#define METIS_SPAN(name) ((void)0)
+#endif
+
+}  // namespace metis::telemetry

@@ -1,0 +1,346 @@
+// Telemetry registry: counters/gauges/histograms, span nesting, JSON export
+// and the concurrency contract (safe, deterministic totals from ThreadPool
+// workers).  The whole suite compiles in both modes: with
+// -DMETIS_TELEMETRY=OFF the enabled-only tests drop out and the stub-API
+// smoke tests take over, so a disabled build still exercises every call
+// site's surface.
+#include "util/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/parallel.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace metis;
+using telemetry::Registry;
+using telemetry::ScopedSpan;
+
+// ------------------------------------------------------- JSON validation ----
+// Minimal recursive-descent JSON checker: enough to assert that to_json()
+// emits structurally valid JSON (balanced, properly quoted, no bare NaN/Inf
+// tokens) without pulling in a JSON library.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        if (pos_ + 1 >= s_.size()) return false;
+        ++pos_;
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* word) {
+    const std::size_t len = std::string(word).size();
+    if (s_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(Telemetry, JsonExportIsValidJson) {
+  Registry& reg = Registry::global();
+  reg.reset();
+  telemetry::count("json.counter", 3);
+  telemetry::gauge_set("json.gauge", -1.5);
+  telemetry::observe("json.hist", 0.25);
+  {
+    ScopedSpan outer("outer");
+    ScopedSpan inner("inner\"quoted");  // name escaping must survive export
+  }
+  const std::string json = reg.to_json();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json;
+  reg.reset();
+}
+
+TEST(Telemetry, DisabledModeStillEmitsValidJson) {
+  // Holds in both build modes: OFF emits {"telemetry":false}, ON emits the
+  // full document — either way the stream output parses.
+  std::ostringstream os;
+  Registry::global().write_json(os);
+  const std::string json = os.str();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json;
+  EXPECT_NE(json.find("\"telemetry\""), std::string::npos);
+}
+
+TEST(Telemetry, StopwatchMonotone) {
+  const telemetry::Stopwatch timer;
+  const double a = timer.seconds();
+  const double b = timer.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  // ms() reads the clock again, so it can only move forward from b.
+  EXPECT_GE(timer.ms(), b * 1e3);
+}
+
+#if METIS_TELEMETRY_ENABLED
+
+TEST(Telemetry, CounterAddAndReset) {
+  Registry reg;
+  telemetry::Counter& c = reg.counter("c");
+  EXPECT_EQ(c.value(), 0);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  // Same name must return the same metric; a handle cached before reset()
+  // stays valid after it.
+  EXPECT_EQ(&reg.counter("c"), &c);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(Telemetry, GaugeKeepsLastValue) {
+  Registry reg;
+  telemetry::Gauge& g = reg.gauge("g");
+  g.set(2.5);
+  g.set(-7.0);
+  EXPECT_DOUBLE_EQ(g.value(), -7.0);
+  EXPECT_EQ(&reg.gauge("g"), &g);
+}
+
+TEST(Telemetry, HistogramExactPercentiles) {
+  Registry reg;
+  telemetry::Histogram& h = reg.histogram("h");
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) {
+    values.push_back(i);
+    h.observe(i);
+  }
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.min(), 1);
+  EXPECT_DOUBLE_EQ(h.max(), 100);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  // Percentiles are computed from retained raw samples, so they agree with
+  // metis::percentile exactly — not a bucket interpolation.
+  for (double p : {0.0, 25.0, 50.0, 90.0, 95.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(p), percentile(values, p)) << "p=" << p;
+  }
+}
+
+TEST(Telemetry, HistogramBucketsIncludeOverflow) {
+  Registry reg;
+  telemetry::Histogram& h = reg.histogram("hb", {1.0, 10.0});
+  h.observe(0.5);   // <= 1
+  h.observe(1.0);   // <= 1 (inclusive edge)
+  h.observe(5.0);   // <= 10
+  h.observe(100.0); // overflow
+  const std::vector<std::uint64_t> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 3u);  // two edges + overflow
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket_counts()[0], 0u);
+}
+
+TEST(Telemetry, SpanNestingBuildsSlashPaths) {
+  Registry& reg = Registry::global();
+  reg.reset();
+  {
+    ScopedSpan outer("alpha");
+    { ScopedSpan inner("beta"); }
+    { ScopedSpan inner("beta"); }
+  }
+  EXPECT_EQ(reg.span("alpha").count, 1u);
+  EXPECT_EQ(reg.span("alpha/beta").count, 2u);
+  EXPECT_EQ(reg.span("beta").count, 0u);  // never a root
+  const std::vector<std::string> paths = reg.span_paths();
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0], "alpha");
+  EXPECT_EQ(paths[1], "alpha/beta");
+  // Parent wraps child, so aggregate time must too.
+  EXPECT_GE(reg.span("alpha").total_seconds,
+            reg.span("alpha/beta").total_seconds);
+  reg.reset();
+  EXPECT_TRUE(reg.span_paths().empty());
+}
+
+TEST(Telemetry, RecordSpanFoldsMinMax) {
+  Registry reg;
+  reg.record_span("s", 2.0);
+  reg.record_span("s", 1.0);
+  reg.record_span("s", 4.0);
+  const telemetry::SpanStats stats = reg.span("s");
+  EXPECT_EQ(stats.count, 3u);
+  EXPECT_DOUBLE_EQ(stats.total_seconds, 7.0);
+  EXPECT_DOUBLE_EQ(stats.min_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max_seconds, 4.0);
+}
+
+TEST(Telemetry, TableListsEveryMetric) {
+  Registry reg;
+  reg.counter("tbl.counter").add(5);
+  reg.gauge("tbl.gauge").set(1.25);
+  reg.histogram("tbl.hist").observe(3.0);
+  reg.record_span("tbl_root/tbl_leaf", 0.001);
+  const std::string table = reg.to_table();
+  EXPECT_NE(table.find("tbl.counter"), std::string::npos);
+  EXPECT_NE(table.find("tbl.gauge"), std::string::npos);
+  EXPECT_NE(table.find("tbl.hist"), std::string::npos);
+  EXPECT_NE(table.find("tbl_root/tbl_leaf"), std::string::npos);
+}
+
+// ----------------------------------------------------------- concurrency ----
+// Hammer the registry from ThreadPool workers (labels: telemetry +
+// concurrency; the verify flow runs this under -DMETIS_SANITIZE=thread).
+// Counters are deterministic — every task adds exactly once — so the totals
+// must come out identical for any thread count and any interleaving.
+
+TEST(TelemetryConcurrency, PoolWorkersProduceDeterministicTotals) {
+  constexpr int kTasks = 2000;
+  for (int threads : {1, 0}) {  // serial inline path, then the full pool
+    Registry& reg = Registry::global();
+    reg.reset();
+    parallel_for(
+        kTasks,
+        [&](int i) {
+          telemetry::count("hammer.tasks");
+          telemetry::count("hammer.weighted", i % 7);
+          telemetry::gauge_set("hammer.last", i);
+          telemetry::observe("hammer.value", static_cast<double>(i));
+          ScopedSpan span("hammer_body");
+        },
+        threads);
+    std::int64_t weighted = 0;
+    for (int i = 0; i < kTasks; ++i) weighted += i % 7;
+    EXPECT_EQ(reg.counter("hammer.tasks").value(), kTasks) << threads;
+    EXPECT_EQ(reg.counter("hammer.weighted").value(), weighted) << threads;
+    EXPECT_EQ(reg.histogram("hammer.value").count(),
+              static_cast<std::size_t>(kTasks))
+        << threads;
+    // Spans opened on workers are fresh roots: the path is "hammer_body",
+    // never nested under some caller span, for every scheduling order.
+    EXPECT_EQ(reg.span("hammer_body").count, static_cast<std::uint64_t>(kTasks))
+        << threads;
+    const std::string json = reg.to_json();
+    JsonChecker checker(json);
+    EXPECT_TRUE(checker.valid()) << json;
+    reg.reset();
+  }
+}
+
+TEST(TelemetryConcurrency, ConcurrentMetricCreationIsSafe) {
+  // First-use creation races the map insert; every index must still land.
+  Registry& reg = Registry::global();
+  reg.reset();
+  constexpr int kNames = 64;
+  parallel_for(
+      kNames * 8,
+      [&](int i) { telemetry::count("create." + std::to_string(i % kNames)); },
+      0);
+  for (int n = 0; n < kNames; ++n) {
+    EXPECT_EQ(reg.counter("create." + std::to_string(n)).value(), 8);
+  }
+  reg.reset();
+}
+
+#else  // !METIS_TELEMETRY_ENABLED — the stub API must stay a no-op surface.
+
+TEST(TelemetryDisabled, StubsAreInertButCallable) {
+  Registry& reg = Registry::global();
+  telemetry::count("nope", 5);
+  telemetry::gauge_set("nope", 1.0);
+  telemetry::observe("nope", 1.0);
+  reg.record_span("a/b", 1.0);
+  { ScopedSpan span("a"); (void)span; }
+  EXPECT_EQ(reg.counter("nope").value(), 0);
+  EXPECT_EQ(reg.histogram("nope").count(), 0u);
+  EXPECT_EQ(reg.span("a/b").count, 0u);
+  EXPECT_TRUE(reg.span_paths().empty());
+  EXPECT_EQ(reg.to_json(), "{\"telemetry\":false}");
+  EXPECT_FALSE(telemetry::enabled());
+}
+
+#endif  // METIS_TELEMETRY_ENABLED
+
+}  // namespace

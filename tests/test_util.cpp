@@ -226,7 +226,25 @@ TEST(Stats, SummarizeBasics) {
   EXPECT_DOUBLE_EQ(s.max, 4);
   EXPECT_DOUBLE_EQ(s.mean, 2.5);
   EXPECT_DOUBLE_EQ(s.sum, 10);
-  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+  // Sample stddev (Bessel, n-1): m2 = 5, so variance = 5/3.
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, AccumulatorVarianceUsesBesselCorrection) {
+  Accumulator acc;
+  acc.add(1);
+  acc.add(3);
+  // m2 = 2; population variance would be 1, sample variance is 2.
+  EXPECT_DOUBLE_EQ(acc.variance(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), std::sqrt(2.0));
+}
+
+TEST(Stats, AccumulatorVarianceZeroBelowTwoSamples) {
+  Accumulator acc;
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  acc.add(42);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
 }
 
 TEST(Stats, SummarizeEmpty) {
@@ -322,6 +340,29 @@ TEST(Log, StreamHelperFormats) {
   METIS_LOG(LogLevel::Warn) << "x=" << 42 << " y=" << 1.5 << " z=" << "str";
   set_log_level(saved);
   EXPECT_EQ(log_level(), saved);
+}
+
+namespace {
+int touch(int& counter) {
+  ++counter;
+  return counter;
+}
+}  // namespace
+
+TEST(Log, FilteredLineNeverEvaluatesOperands) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::Error);
+  int evaluations = 0;
+  // Below the gate: the ternary short-circuits before the LogLine exists,
+  // so the operand expression must not run (this is the contract that makes
+  // METIS_LOG_DEBUG free in hot loops).
+  METIS_LOG_DEBUG << "n=" << touch(evaluations);
+  METIS_LOG_INFO << "n=" << touch(evaluations);
+  EXPECT_EQ(evaluations, 0);
+  // At or above the gate the operands evaluate exactly once.
+  METIS_LOG(LogLevel::Error) << "n=" << touch(evaluations);
+  EXPECT_EQ(evaluations, 1);
+  set_log_level(saved);
 }
 
 // --------------------------------------------------------------- args ----
