@@ -1,0 +1,163 @@
+// Extension — streaming admission (sim/online.h): profit and decide latency
+// as a function of batch size, from pure online admission (batch size 1) to
+// the paper's offline regime (one batch covering the whole stream), plus
+// warm-vs-cold simplex iteration counts measuring the cross-batch
+// basis-lifting payoff (lp/basis_lift.h).
+//
+// Every row replays the same arrival stream twice — once with cross-batch
+// warm starts, once cold — so the two iteration columns are directly
+// comparable.  Decisions are identical between the two replays (warm starts
+// change work, never results); profit therefore appears once per row.
+//
+//   $ ./bench_online_admission --requests 48 --seed 1 --csv
+//   $ ./bench_online_admission --baseline-json ../bench/online_admission_baseline.json
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/online.h"
+#include "util/args.h"
+#include "util/table.h"
+
+namespace {
+
+struct SweepRow {
+  int batch_size = 0;
+  metis::sim::OnlineResult warm;
+  metis::sim::OnlineResult cold;
+};
+
+void write_baseline_json(const std::string& path,
+                         const metis::sim::OnlineConfig& config,
+                         const metis::core::MetisResult& offline,
+                         int stream_len, const std::vector<SweepRow>& rows) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open baseline output: " + path);
+  os << std::setprecision(15);
+  os << "{\n";
+  os << "  \"scenario\": {\"network\": \"" << to_string(config.base.network)
+     << "\", \"expected_requests\": " << config.base.num_requests
+     << ", \"arrivals\": " << stream_len
+     << ", \"seed\": " << config.base.seed << "},\n";
+  os << "  \"offline\": {\"profit\": " << offline.best.profit
+     << ", \"accepted\": " << offline.best.accepted
+     << ", \"simplex_iterations\": " << offline.lp_stats.iterations << "},\n";
+  os << "  \"sweep\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& row = rows[i];
+    const double ratio = offline.best.profit != 0
+                             ? row.warm.profit.profit / offline.best.profit
+                             : 0.0;
+    os << "    {\"batch_size\": " << row.batch_size
+       << ", \"batches\": " << row.warm.batches.size()
+       << ", \"profit\": " << row.warm.profit.profit
+       << ", \"profit_ratio_vs_offline\": " << ratio
+       << ", \"accepted\": " << row.warm.total_accepted << ",\n";
+    os << "     \"warm\": {\"simplex_iterations\": "
+       << row.warm.lp_stats.iterations
+       << ", \"warm_starts\": " << row.warm.lp_stats.warm_starts
+       << ", \"cold_starts\": " << row.warm.lp_stats.cold_starts << "},\n";
+    os << "     \"cold\": {\"simplex_iterations\": "
+       << row.cold.lp_stats.iterations
+       << ", \"warm_starts\": " << row.cold.lp_stats.warm_starts
+       << ", \"cold_starts\": " << row.cold.lp_stats.cold_starts << "},\n";
+    os << "     \"per_batch\": [";
+    for (std::size_t b = 0; b < row.warm.batches.size(); ++b) {
+      if (b > 0) os << ", ";
+      os << "{\"arrivals\": " << row.warm.batches[b].arrivals
+         << ", \"iterations_warm\": " << row.warm.batches[b].lp_stats.iterations
+         << ", \"iterations_cold\": " << row.cold.batches[b].lp_stats.iterations
+         << "}";
+    }
+    os << "]}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace metis;
+  ArgParser args(argc, argv);
+  const bool csv = args.get_bool("csv", false);
+  const std::string telemetry_path = args.get("telemetry-json", "");
+  const std::string baseline_path = args.get("baseline-json", "");
+  sim::OnlineConfig config;
+  config.base.network = sim::Network::B4;
+  config.base.num_requests = args.get_int("requests", 48);
+  config.base.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  config.metis.maa.threads = args.get_int("threads", 0);
+  if (args.help_requested()) {
+    std::cout << args.usage(
+        "bench_online_admission: batch-size sweep of the streaming "
+        "admission pipeline vs the offline oracle");
+    return 0;
+  }
+  args.finish();
+
+  const sim::OnlineAdmissionSimulator probe(config);
+  const int stream_len = static_cast<int>(probe.arrivals().size());
+  const core::MetisResult offline = probe.offline_oracle();
+  std::cout << "=== Extension: online admission on "
+            << to_string(config.base.network) << ", " << stream_len
+            << " arrivals (seed " << config.base.seed << ") ===\n"
+            << "offline oracle: profit " << offline.best.profit << ", "
+            << offline.best.accepted << " accepted, "
+            << offline.lp_stats.iterations << " simplex iterations\n\n";
+
+  std::vector<int> batch_sizes;
+  for (int b : {1, 2, 4, 8, 16, 32}) {
+    if (b < stream_len) batch_sizes.push_back(b);
+  }
+  batch_sizes.push_back(std::max(1, stream_len));  // the offline regime
+
+  std::vector<SweepRow> rows;
+  for (int batch_size : batch_sizes) {
+    SweepRow row;
+    row.batch_size = batch_size;
+    config.batch_size = batch_size;
+    config.cross_batch_warm_start = true;
+    row.warm = sim::OnlineAdmissionSimulator(config).run();
+    config.cross_batch_warm_start = false;
+    row.cold = sim::OnlineAdmissionSimulator(config).run();
+    if (row.warm.profit.profit != row.cold.profit.profit) {
+      std::cerr << "BUG: warm starts changed the decision at batch size "
+                << batch_size << "\n";
+      return 1;
+    }
+    rows.push_back(std::move(row));
+  }
+
+  TablePrinter table({"batch", "batches", "profit", "vs offline", "accepted",
+                      "iters warm", "iters cold", "warm starts", "cold starts",
+                      "avg decide ms"});
+  for (const SweepRow& row : rows) {
+    double decide_ms = 0;
+    for (const auto& b : row.warm.batches) decide_ms += b.decide_ms;
+    if (!row.warm.batches.empty()) decide_ms /= row.warm.batches.size();
+    table.add_row(
+        {static_cast<long long>(row.batch_size),
+         static_cast<long long>(row.warm.batches.size()),
+         row.warm.profit.profit,
+         offline.best.profit != 0
+             ? row.warm.profit.profit / offline.best.profit
+             : 0.0,
+         static_cast<long long>(row.warm.total_accepted),
+         static_cast<long long>(row.warm.lp_stats.iterations),
+         static_cast<long long>(row.cold.lp_stats.iterations),
+         static_cast<long long>(row.warm.lp_stats.warm_starts),
+         static_cast<long long>(row.warm.lp_stats.cold_starts), decide_ms});
+  }
+  bench::emit(table, csv, "profit and LP work vs batch size");
+
+  if (!baseline_path.empty()) {
+    write_baseline_json(baseline_path, config, offline, stream_len, rows);
+    std::cout << "baseline written to " << baseline_path << '\n';
+  }
+  bench::write_telemetry(telemetry_path);
+  return 0;
+}

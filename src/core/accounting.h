@@ -16,9 +16,12 @@ class LoadMatrix {
  public:
   LoadMatrix(int num_edges, int num_slots);
 
+  /// Reserved rate on edge e during slot t, in bandwidth units
+  /// (1 unit = 10 Gbps).
   double at(net::EdgeId e, int slot) const {
     return data_[static_cast<std::size_t>(e) * num_slots_ + slot];
   }
+  /// Adds `rate` units to edge e's load during `slot`.
   void add(net::EdgeId e, int slot, double rate) {
     data_[static_cast<std::size_t>(e) * num_slots_ + slot] += rate;
   }
@@ -59,11 +62,14 @@ double revenue(const SpmInstance& instance, const Schedule& schedule);
 /// Sum of u_e * c_e.
 double cost(const net::Topology& topology, const ChargingPlan& plan);
 
+/// One decision's bottom line.  Money values share the workload's value
+/// scale (a request's bid v_i per cycle); bandwidth enters via cost =
+/// Σ u_e · c_e with c_e in integer units (1 unit = 10 Gbps).
 struct ProfitBreakdown {
-  double revenue = 0;
-  double cost = 0;
-  double profit = 0;
-  int accepted = 0;
+  double revenue = 0;  ///< Σ v_i over accepted requests
+  double cost = 0;     ///< Σ u_e · c_e over the charging plan
+  double profit = 0;   ///< revenue − cost
+  int accepted = 0;    ///< number of accepted requests
 };
 
 /// Full evaluation of a schedule: the charging plan is derived from the

@@ -7,7 +7,7 @@ namespace metis::core {
 
 SpmInstance::SpmInstance(net::Topology topology,
                          std::vector<workload::Request> requests,
-                         InstanceConfig config)
+                         InstanceConfig config, net::PathCache* path_cache)
     : topology_(std::move(topology)),
       requests_(std::move(requests)),
       config_(config) {
@@ -26,8 +26,10 @@ SpmInstance::SpmInstance(net::Topology topology,
     by_pair.emplace(std::make_pair(r.src, r.dst), std::vector<net::Path>{});
   }
   for (auto& [pair, paths] : by_pair) {
-    paths = net::k_shortest_paths(topology_, pair.first, pair.second,
-                                  config_.max_paths);
+    paths = path_cache != nullptr
+                ? path_cache->paths(pair.first, pair.second, config_.max_paths)
+                : net::k_shortest_paths(topology_, pair.first, pair.second,
+                                        config_.max_paths);
     if (paths.empty()) {
       throw std::invalid_argument(
           "SpmInstance: request endpoints are disconnected (" +

@@ -15,6 +15,7 @@
 namespace metis::core {
 
 struct InstanceConfig {
+  /// Time slots T per billing cycle (the paper evaluates T = 12).
   int num_slots = 12;
   /// Maximum number of candidate paths per request (L_i <= this).
   int max_paths = 4;
@@ -25,8 +26,14 @@ class SpmInstance {
   /// Validates every request against the topology/cycle and precomputes the
   /// candidate path sets.  Requests between disconnected pairs are rejected
   /// with std::invalid_argument (the generator never produces them).
+  ///
+  /// `path_cache` (optional): a net::PathCache built over a topology with
+  /// the same edges as `topology`, through which the per-pair Yen runs are
+  /// memoized.  The online pipeline passes one cache across all of a
+  /// cycle's batch instances so recurring (src, dst) pairs cost a lookup;
+  /// nullptr computes paths from scratch (identical results either way).
   SpmInstance(net::Topology topology, std::vector<workload::Request> requests,
-              InstanceConfig config = {});
+              InstanceConfig config = {}, net::PathCache* path_cache = nullptr);
 
   const net::Topology& topology() const { return topology_; }
   net::Topology& mutable_topology() { return topology_; }

@@ -1,7 +1,9 @@
 #include "core/lp_builder.h"
 
 #include "core/accounting.h"
+#include "lp/basis_lift.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <string>
@@ -40,11 +42,15 @@ std::vector<std::vector<int>> add_x_columns(const SpmInstance& instance,
 }
 
 /// Adds the per-(edge,slot) load rows.  When c_var is non-empty the row is
-/// load - c_e <= 0; otherwise load <= capacity[e].
+/// load - c_e <= 0; otherwise load <= capacity[e].  A non-null `pinned`
+/// moves committed load onto the right-hand side (and, in the c_var form,
+/// forces a row wherever pinned load alone requires purchase); zero pinned
+/// entries leave the row byte-identical to the offline build.
 std::vector<std::vector<int>> add_capacity_rows(
     const SpmInstance& instance, const std::vector<bool>& accepted,
     const std::vector<std::vector<int>>& x_var, const std::vector<int>& c_var,
-    const ChargingPlan* capacities, lp::LinearProblem& problem) {
+    const ChargingPlan* capacities, const LoadMatrix* pinned,
+    lp::LinearProblem& problem) {
   std::vector<std::vector<int>> cap_row(
       instance.num_edges(), std::vector<int>(instance.num_slots(), -1));
   for (net::EdgeId e = 0; e < instance.num_edges(); ++e) {
@@ -60,13 +66,20 @@ std::vector<std::vector<int>> add_capacity_rows(
           }
         }
       }
-      if (entries.empty()) continue;  // nothing can load this (e,t)
+      const double committed = pinned != nullptr ? pinned->at(e, t) : 0.0;
+      // In the c_var form a positive committed load still needs a row (the
+      // purchase must cover it even when no free request can add to it);
+      // without c columns such a row would be variable-free and vacuous.
+      if (entries.empty() && (c_var.empty() || committed <= 0)) {
+        continue;  // nothing can load this (e,t)
+      }
       double rhs = 0;
       if (c_var.empty()) {
         rhs = capacities->units.at(e);
       } else {
         entries.push_back({c_var[e], -1.0});
       }
+      if (committed > 0) rhs -= committed;
       cap_row[e][t] = problem.add_row(
           lp::RowType::LessEqual, rhs, std::move(entries),
           "cap_e" + std::to_string(e) + "_t" + std::to_string(t));
@@ -126,7 +139,8 @@ std::vector<int> SpmModel::integer_columns() const {
 }
 
 SpmModel build_rl_spm(const SpmInstance& instance,
-                      const std::vector<bool>& accepted_in) {
+                      const std::vector<bool>& accepted_in,
+                      const LoadMatrix* pinned) {
   const std::vector<bool> accepted = resolve_accepted(instance, accepted_in);
   SpmModel model;
   model.problem.set_sense(lp::Sense::Minimize);
@@ -137,13 +151,13 @@ SpmModel build_rl_spm(const SpmInstance& instance,
                       model.problem);
   model.cap_row = add_capacity_rows(instance, accepted, model.x_var,
                                     model.c_var, /*capacities=*/nullptr,
-                                    model.problem);
+                                    pinned, model.problem);
   return model;
 }
 
 SpmModel build_bl_spm(const SpmInstance& instance, const ChargingPlan& capacities,
                       const std::vector<bool>& accepted_in,
-                      const BlSpmOptions& options) {
+                      const BlSpmOptions& options, const LoadMatrix* pinned) {
   if (static_cast<int>(capacities.units.size()) != instance.num_edges()) {
     throw std::invalid_argument("build_bl_spm: capacity size mismatch");
   }
@@ -176,7 +190,8 @@ SpmModel build_bl_spm(const SpmInstance& instance, const ChargingPlan& capacitie
   add_assignment_rows(instance, accepted, model.x_var, lp::RowType::LessEqual,
                       model.problem);
   model.cap_row = add_capacity_rows(instance, accepted, model.x_var,
-                                    /*c_var=*/{}, &capacities, model.problem);
+                                    /*c_var=*/{}, &capacities, pinned,
+                                    model.problem);
   return model;
 }
 
@@ -191,7 +206,7 @@ SpmModel build_spm(const SpmInstance& instance) {
                       model.problem);
   model.cap_row = add_capacity_rows(instance, accepted, model.x_var,
                                     model.c_var, /*capacities=*/nullptr,
-                                    model.problem);
+                                    /*pinned=*/nullptr, model.problem);
   return model;
 }
 
@@ -220,6 +235,61 @@ ChargingPlan plan_from_solution(const SpmInstance& instance, const SpmModel& mod
     plan.units[e] = static_cast<int>(std::llround(x.at(model.c_var[e])));
   }
   return plan;
+}
+
+void snapshot_model(const SpmModel& model, const lp::Basis& basis,
+                    ModelSnapshot& out) {
+  if (basis.empty()) {
+    out.clear();
+    return;
+  }
+  out.basis = basis;
+  out.num_variables = model.problem.num_variables();
+  out.num_rows = model.problem.num_rows();
+  out.c_col = model.c_var;
+  out.cap_row = model.cap_row;
+}
+
+lp::Basis lift_into_model(const ModelSnapshot& snap, const SpmModel& model,
+                          bool equality_assignments) {
+  if (snap.empty()) return {};
+  const int new_cols = model.problem.num_variables();
+  const int new_rows = model.problem.num_rows();
+  std::vector<int> col_of_new(new_cols, -1);
+  std::vector<int> row_of_new(new_rows, -1);
+  // The persistent structure: c columns map per edge, capacity rows per
+  // (edge, slot).  x columns and assignment rows belong to the batch's own
+  // request set and never map across batches.
+  const std::size_t edges =
+      std::min(model.c_var.size(), snap.c_col.size());
+  for (std::size_t e = 0; e < edges; ++e) {
+    if (model.c_var[e] >= 0 && snap.c_col[e] >= 0) {
+      col_of_new[model.c_var[e]] = snap.c_col[e];
+    }
+  }
+  const std::size_t cap_edges =
+      std::min(model.cap_row.size(), snap.cap_row.size());
+  for (std::size_t e = 0; e < cap_edges; ++e) {
+    const std::size_t slots =
+        std::min(model.cap_row[e].size(), snap.cap_row[e].size());
+    for (std::size_t t = 0; t < slots; ++t) {
+      if (model.cap_row[e][t] >= 0 && snap.cap_row[e][t] >= 0) {
+        row_of_new[model.cap_row[e][t]] = snap.cap_row[e][t];
+      }
+    }
+  }
+  // The equality assignment rows (sum_j x = 1) cannot rest on their slack:
+  // mark each request's first path column Basic so the lifted point has a
+  // column to carry the forced unit.  The count repair in lift_basis then
+  // parks the surplus new-row slacks.
+  std::vector<int> basic_new;
+  if (equality_assignments) {
+    for (const auto& row : model.x_var) {
+      if (!row.empty() && row.front() >= 0) basic_new.push_back(row.front());
+    }
+  }
+  return lp::lift_basis(snap.basis, snap.num_variables, snap.num_rows,
+                        col_of_new, row_of_new, basic_new);
 }
 
 std::vector<double> columns_from_decision(const SpmInstance& instance,

@@ -33,9 +33,11 @@
 
 #include <vector>
 
+#include "core/accounting.h"
 #include "core/instance.h"
 #include "core/schedule.h"
 #include "lp/problem.h"
+#include "lp/types.h"
 
 namespace metis::core {
 
@@ -58,8 +60,18 @@ struct SpmModel {
 
 /// RL-SPM for the subset of requests with accepted[i] == true.
 /// An empty `accepted` vector means "all requests accepted".
+///
+/// `pinned` (online admission): per-(edge, slot) loads of requests whose
+/// routing is already committed and therefore NOT part of the model.  The
+/// pinned load moves to the capacity rows' right-hand side (load_free − c_e
+/// ≤ −pinned(e,t)), so the purchased c_e must cover commitments plus
+/// whatever the model routes.  A capacity row is emitted for every (e, t)
+/// with either a potential free load or a positive pinned load.  Passing
+/// nullptr (or an all-zero matrix) reproduces the offline model exactly,
+/// byte for byte — the bit-identity anchor of the single-batch online mode.
 SpmModel build_rl_spm(const SpmInstance& instance,
-                      const std::vector<bool>& accepted = {});
+                      const std::vector<bool>& accepted = {},
+                      const LoadMatrix* pinned = nullptr);
 
 /// Extension knobs for BL-SPM (beyond the paper, see DESIGN.md):
 struct BlSpmOptions {
@@ -73,9 +85,15 @@ struct BlSpmOptions {
 
 /// BL-SPM under per-edge capacities (units.size() == num_edges).  Only
 /// requests with accepted[i] == true participate (empty = all).
+///
+/// `pinned` (online admission): committed loads subtracted from the
+/// capacity rows' right-hand side (load_free ≤ cap_e − pinned(e,t)); the
+/// caller guarantees cap_e covers the pinned peak (the incremental Metis
+/// trim floor).  nullptr / all-zero reproduces the offline model exactly.
 SpmModel build_bl_spm(const SpmInstance& instance, const ChargingPlan& capacities,
                       const std::vector<bool>& accepted = {},
-                      const BlSpmOptions& options = {});
+                      const BlSpmOptions& options = {},
+                      const LoadMatrix* pinned = nullptr);
 
 /// The full SPM problem (used with MipSolver for OPT(SPM)).
 SpmModel build_spm(const SpmInstance& instance);
@@ -89,6 +107,59 @@ Schedule schedule_from_solution(const SpmInstance& instance, const SpmModel& mod
 /// Extracts a ChargingPlan from solved c values (rounded to nearest int).
 ChargingPlan plan_from_solution(const SpmInstance& instance, const SpmModel& model,
                                 const std::vector<double>& x);
+
+/// Shape + optimal basis of one solved SPM relaxation, kept across batches
+/// by the online admission pipeline (core::IncrementalState).  Consecutive
+/// batch re-decides solve *differently shaped* problems — the new batch's
+/// x columns replace the previous batch's — but the c_e purchase columns
+/// and the (edge, slot) capacity rows persist, and their basis statuses
+/// encode which links sit at their load ceiling.  lift_into_model maps that
+/// persistent part onto the next batch's model (see lp/basis_lift.h).
+struct ModelSnapshot {
+  lp::Basis basis;                      ///< optimal basis of the snapshot solve
+  int num_variables = 0;                ///< columns of the snapshot problem
+  int num_rows = 0;                     ///< rows of the snapshot problem
+  std::vector<int> c_col;               ///< [edge] -> column (empty for BL-SPM)
+  std::vector<std::vector<int>> cap_row;  ///< [edge][slot] -> row or -1
+
+  bool empty() const { return basis.empty(); }
+  void clear() { basis.clear(); c_col.clear(); cap_row.clear(); }
+};
+
+/// Records `model`'s shape together with `basis` (the solve's optimal
+/// basis) into `out`.  An empty basis clears the snapshot — there is
+/// nothing to lift from a solve that produced no reusable basis.
+void snapshot_model(const SpmModel& model, const lp::Basis& basis,
+                    ModelSnapshot& out);
+
+/// Lifts `snap` onto `model`'s shape: c columns and capacity rows map by
+/// (edge) / (edge, slot) identity, everything else is new.  With
+/// `equality_assignments` (RL-SPM), each participating request's first
+/// path column is marked Basic so the lifted point can satisfy the
+/// sum_j x = 1 rows.  Returns an empty Basis (= cold start) when the
+/// snapshot is empty or unliftable.
+lp::Basis lift_into_model(const ModelSnapshot& snap, const SpmModel& model,
+                          bool equality_assignments);
+
+/// Pinning/warm-start context threaded through one MAA or TAA solve by the
+/// incremental Metis loop (online admission, see MetisOptions /
+/// IncrementalState in metis.h).  All pointers are non-owning; any may be
+/// null.  With `committed`/`committed_loads` null — or pointing at an
+/// all-declined schedule / all-zero matrix — the solve is byte-identical to
+/// the offline one.
+struct IncrementalContext {
+  /// Full-size schedule of already-committed decisions (kDeclined for every
+  /// request still free).  Committed requests are excluded from the LP and
+  /// merged verbatim into the returned schedule.
+  const Schedule* committed = nullptr;
+  /// Loads of the committed acceptances (compute_loads over *committed).
+  const LoadMatrix* committed_loads = nullptr;
+  /// Snapshot of the previous batch's solve to lift a warm start from.
+  const ModelSnapshot* lift_from = nullptr;
+  /// When non-null, receives this solve's shape + optimal basis (the next
+  /// batch's lift_from).  May alias lift_from — it is read before written.
+  ModelSnapshot* snapshot_out = nullptr;
+};
 
 /// The inverse of schedule_from_solution: encodes a concrete decision as a
 /// full column assignment of `model` (x from the schedule; c, when the model

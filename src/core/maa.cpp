@@ -11,11 +11,14 @@ namespace metis::core {
 
 namespace {
 
-/// Stage 2: one randomized rounding of the fractional solution.
+/// Stage 2: one randomized rounding of the fractional solution.  `base`
+/// carries the pinned (committed) choices; rounding only writes the
+/// participating requests, so commitments pass through verbatim.
 Schedule round_once(const SpmInstance& instance, const SpmModel& model,
                     const std::vector<double>& x_hat,
-                    const std::vector<bool>& accepted, Rng& rng) {
-  Schedule schedule = Schedule::all_declined(instance.num_requests());
+                    const std::vector<bool>& accepted, const Schedule& base,
+                    Rng& rng) {
+  Schedule schedule = base;
   std::vector<double> weights;
   for (int i = 0; i < instance.num_requests(); ++i) {
     if (!accepted[i]) continue;
@@ -32,8 +35,8 @@ Schedule round_once(const SpmInstance& instance, const SpmModel& model,
 /// Ablation variant: argmax-probability path per request (no sampling).
 Schedule round_argmax(const SpmInstance& instance, const SpmModel& model,
                       const std::vector<double>& x_hat,
-                      const std::vector<bool>& accepted) {
-  Schedule schedule = Schedule::all_declined(instance.num_requests());
+                      const std::vector<bool>& accepted, const Schedule& base) {
+  Schedule schedule = base;
   for (int i = 0; i < instance.num_requests(); ++i) {
     if (!accepted[i]) continue;
     int best = 0;
@@ -59,13 +62,31 @@ MaaResult run_maa(const SpmInstance& instance, const std::vector<bool>& accepted
   std::vector<bool> accepted = accepted_in;
   if (accepted.empty()) accepted.assign(instance.num_requests(), true);
 
+  // Online admission: pinned commitments (all-declined / all-zero when the
+  // context is absent, in which case every use below reduces to offline).
+  const IncrementalContext* inc = options.incremental;
+  const Schedule pin_base =
+      inc != nullptr && inc->committed != nullptr
+          ? *inc->committed
+          : Schedule::all_declined(instance.num_requests());
+  const LoadMatrix* pinned = inc != nullptr ? inc->committed_loads : nullptr;
+
   MaaResult result;
-  const SpmModel model = build_rl_spm(instance, accepted);
+  const SpmModel model = build_rl_spm(instance, accepted, pinned);
+  lp::Basis* warm = options.warm_basis;
+  if (warm != nullptr && warm->empty() && inc != nullptr &&
+      inc->lift_from != nullptr && !inc->lift_from->empty()) {
+    *warm = lift_into_model(*inc->lift_from, model, /*equality_assignments=*/true);
+    if (!warm->empty()) telemetry::count("maa.basis_lifts");
+  }
   const lp::SimplexSolver solver(options.lp);
-  const lp::LpSolution relaxed =
-      solver.solve(model.problem, options.warm_basis);
+  const lp::LpSolution relaxed = solver.solve(model.problem, warm);
   result.status = relaxed.status;
   result.lp_stats = relaxed.stats;
+  if (inc != nullptr && inc->snapshot_out != nullptr && relaxed.ok() &&
+      warm != nullptr) {
+    snapshot_model(model, *warm, *inc->snapshot_out);
+  }
   if (!relaxed.ok()) return result;
   result.lp_cost = relaxed.objective;
 
@@ -89,12 +110,12 @@ MaaResult run_maa(const SpmInstance& instance, const std::vector<bool>& accepted
     result.schedule = std::move(candidate);
   };
   if (options.deterministic) {
-    keep(round_argmax(instance, model, relaxed.x, accepted));
+    keep(round_argmax(instance, model, relaxed.x, accepted, pin_base));
   } else if (options.rounding_trials == 1) {
     // The paper's Algorithm 1 verbatim: one rounding drawn directly from the
     // caller's generator (bit-identical to the historical serial behaviour,
     // which the multi-cycle simulator and Metis's default path rely on).
-    keep(round_once(instance, model, relaxed.x, accepted, rng));
+    keep(round_once(instance, model, relaxed.x, accepted, pin_base, rng));
   } else {
     // Best-of-N: trial t draws from the index-addressed stream
     // base.split(t), so the set of candidates — and the winner — does not
@@ -112,7 +133,8 @@ MaaResult run_maa(const SpmInstance& instance, const std::vector<bool>& accepted
         [&](int trial) {
           Rng trial_rng = base.split(static_cast<std::uint64_t>(trial));
           Candidate c;
-          c.schedule = round_once(instance, model, relaxed.x, accepted, trial_rng);
+          c.schedule =
+              round_once(instance, model, relaxed.x, accepted, pin_base, trial_rng);
           c.plan = charging_from_loads(compute_loads(instance, c.schedule));
           c.cost = cost(instance.topology(), c.plan);
           return c;

@@ -20,7 +20,10 @@
 
 namespace metis::core {
 
+struct IncrementalContext;  // core/lp_builder.h
+
 struct MaaOptions {
+  /// Independent roundings of stage 2, cheapest kept (1 = the paper).
   int rounding_trials = 1;
   /// Deterministic variant (ablation): instead of sampling, each request
   /// takes its argmax-probability path.  `rounding_trials` is ignored.
@@ -34,6 +37,7 @@ struct MaaOptions {
   /// caller's generator, byte-for-byte reproducing the historical serial
   /// behaviour.  See docs/ALGORITHMS.md §"Parallel execution".
   int threads = 0;
+  /// Simplex knobs for the relaxation solve.
   lp::SimplexOptions lp;
   /// Optional basis-reuse slot: when non-null, the relaxation warm-starts
   /// from *warm_basis and writes the optimal basis back (see Basis in
@@ -41,12 +45,20 @@ struct MaaOptions {
   /// carries across iterations; the LP column order is stable for a fixed
   /// accepted set (see lp_builder.h), so re-solves start near-optimal.
   lp::Basis* warm_basis = nullptr;
+  /// Online admission (see IncrementalState in metis.h): when non-null,
+  /// committed requests are pinned — excluded from the LP (their loads move
+  /// to the capacity rows' RHS) and merged verbatim into the returned
+  /// schedule/plan — and, when `warm_basis` is empty, the relaxation lifts a
+  /// cross-batch warm start from `incremental->lift_from` and snapshots its
+  /// own optimal basis into `incremental->snapshot_out`.  Null (the
+  /// default): plain offline solve, bit-identical to the historical path.
+  const IncrementalContext* incremental = nullptr;
 };
 
 struct MaaResult {
-  lp::SolveStatus status = lp::SolveStatus::NotSolved;
-  Schedule schedule;
-  ChargingPlan plan;
+  lp::SolveStatus status = lp::SolveStatus::NotSolved;  ///< relaxation outcome
+  Schedule schedule;  ///< rounded path per accepted request
+  ChargingPlan plan;  ///< ceiled integer units per edge (10 Gbps each)
   /// Objective of the LP relaxation (a lower bound on the optimal cost).
   double lp_cost = 0;
   /// Fractional charged bandwidth per edge from the relaxation (ĉ_e).

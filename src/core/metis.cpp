@@ -12,13 +12,21 @@
 namespace metis::core {
 
 int trim_min_utilization_link(const SpmInstance& instance, const Schedule& schedule,
-                              ChargingPlan& plan, int units) {
+                              ChargingPlan& plan, int units,
+                              const std::vector<int>* floor) {
   if (units <= 0) throw std::invalid_argument("trim: units must be positive");
+  if (floor != nullptr &&
+      static_cast<int>(floor->size()) != instance.num_edges()) {
+    throw std::invalid_argument("trim: floor size mismatch");
+  }
   const LoadMatrix loads = compute_loads(instance, schedule);
+  const auto floor_of = [&](net::EdgeId e) {
+    return floor != nullptr ? (*floor)[e] : 0;
+  };
   int target = -1;
   double lowest = 0;
   for (net::EdgeId e = 0; e < instance.num_edges(); ++e) {
-    if (plan.units[e] <= 0) continue;
+    if (plan.units[e] <= floor_of(e)) continue;
     const double util = loads.mean(e) / plan.units[e];
     if (target == -1 || util < lowest) {
       lowest = util;
@@ -26,7 +34,7 @@ int trim_min_utilization_link(const SpmInstance& instance, const Schedule& sched
     }
   }
   if (target >= 0) {
-    plan.units[target] = std::max(0, plan.units[target] - units);
+    plan.units[target] = std::max(floor_of(target), plan.units[target] - units);
   }
   return target;
 }
@@ -96,7 +104,8 @@ double removal_saving(const SpmInstance& instance, const PeakTree& peaks,
 
 }  // namespace
 
-int prune_unprofitable(const SpmInstance& instance, Schedule& schedule) {
+int prune_unprofitable(const SpmInstance& instance, Schedule& schedule,
+                       int first_mutable) {
   validate_shape(instance, schedule);
   LoadMatrix loads = compute_loads(instance, schedule);
   std::vector<PeakTree> peaks;
@@ -111,7 +120,7 @@ int prune_unprofitable(const SpmInstance& instance, Schedule& schedule) {
     // Find the accepted request with the most negative (value - saving).
     int worst = -1;
     double worst_margin = -1e-9;
-    for (int i = 0; i < instance.num_requests(); ++i) {
+    for (int i = first_mutable; i < instance.num_requests(); ++i) {
       const int j = schedule.path_choice[i];
       if (j == kDeclined) continue;
       const workload::Request& r = instance.request(i);
@@ -142,7 +151,8 @@ int prune_unprofitable(const SpmInstance& instance, Schedule& schedule) {
   return pruned;
 }
 
-int reroute_cheaper(const SpmInstance& instance, Schedule& schedule) {
+int reroute_cheaper(const SpmInstance& instance, Schedule& schedule,
+                    int first_mutable) {
   validate_shape(instance, schedule);
   LoadMatrix loads = compute_loads(instance, schedule);
   const auto apply = [&](int i, int j, double sign) {
@@ -165,7 +175,7 @@ int reroute_cheaper(const SpmInstance& instance, Schedule& schedule) {
   bool changed = true;
   while (changed) {
     changed = false;
-    for (int i = 0; i < instance.num_requests(); ++i) {
+    for (int i = first_mutable; i < instance.num_requests(); ++i) {
       const int current = schedule.path_choice[i];
       if (current == kDeclined || instance.num_paths(i) < 2) continue;
       // Union of edges across all candidate paths of i: only their charges
@@ -204,25 +214,52 @@ int reroute_cheaper(const SpmInstance& instance, Schedule& schedule) {
   return moves;
 }
 
-MetisResult run_metis(const SpmInstance& instance, Rng& rng,
-                      const MetisOptions& options) {
+namespace {
+
+/// Shared body of run_metis / run_metis_incremental.  `state == nullptr`
+/// (or an empty committed prefix with empty snapshots) is the offline loop:
+/// every pinned structure below is then empty / all-zero, and each use
+/// reduces bit for bit to the historical behaviour — which is what makes
+/// the single-batch online mode reproduce the offline decision exactly.
+MetisResult run_metis_impl(const SpmInstance& instance, Rng& rng,
+                           const MetisOptions& options,
+                           IncrementalState* state) {
   if (options.theta < 0) throw std::invalid_argument("Metis: theta must be >= 0");
   METIS_SPAN("metis");
   telemetry::count("metis.runs");
-  // Convergence mode (theta == 0): run the paper's worst-case bound of K
-  // loops (Section II.C), with the usual early exits when the accepted set
-  // empties or no bandwidth is left to trim.
-  const int max_loops =
-      options.theta == 0 ? instance.num_requests() : options.theta;
-  MetisResult result;
-  // SP Updater starts from the empty decision: no requests, no bandwidth,
-  // profit 0 (Section II.C).
-  result.schedule = Schedule::all_declined(instance.num_requests());
-  result.plan = ChargingPlan::none(instance.num_edges());
-  result.best = ProfitBreakdown{};
+  const int K = instance.num_requests();
+  const int C = state != nullptr ? static_cast<int>(state->committed.size()) : 0;
+  if (C > K) {
+    throw std::invalid_argument("Metis: more commitments than requests");
+  }
 
-  // Initialization phase: all requests marked "accepted".
-  std::vector<bool> accepted(instance.num_requests(), true);
+  // Pinned commitments: the first C requests in their final decision.
+  Schedule pin = Schedule::all_declined(K);
+  for (int i = 0; i < C; ++i) pin.path_choice[i] = state->committed[i];
+  validate_shape(instance, pin);
+  const LoadMatrix pinned_loads = compute_loads(instance, pin);
+  // BW-limiter floor: a trim may never cut an edge below what the pinned
+  // requests already consume (their charge is a sunk commitment).
+  std::vector<int> floor_units(instance.num_edges(), 0);
+  for (net::EdgeId e = 0; e < instance.num_edges(); ++e) {
+    floor_units[e] = charged_units(pinned_loads.peak(e));
+  }
+
+  // Convergence mode (theta == 0): run the paper's worst-case bound of K
+  // loops (Section II.C) — here K free requests — with the usual early
+  // exits when the accepted set empties or no bandwidth is left to trim.
+  const int max_loops = options.theta == 0 ? K - C : options.theta;
+  MetisResult result;
+  // SP Updater starts from the pinned-only decision: with no commitments
+  // that is the paper's empty decision (no requests, no bandwidth,
+  // profit 0, Section II.C).
+  result.schedule = pin;
+  result.plan = charging_from_loads(pinned_loads);
+  result.best = evaluate_with_plan(instance, result.schedule, result.plan);
+
+  // Initialization phase: every *free* request marked "accepted".
+  std::vector<bool> accepted(K, false);
+  for (int i = C; i < K; ++i) accepted[i] = true;
 
   const auto record = [&](const Schedule& schedule, const ChargingPlan& plan) {
     ProfitBreakdown pb = evaluate_with_plan(instance, schedule, plan);
@@ -234,13 +271,14 @@ MetisResult run_metis(const SpmInstance& instance, Rng& rng,
     if (options.prune || options.local_search) {
       // SP-updater guards: also consider the cleaned-up variant of the
       // candidate (reroute onto cheaper paths, drop value-negative
-      // requests) — never worse than the candidate itself.
+      // requests) — never worse than the candidate itself.  Commitments
+      // (the first C requests) are immutable to both guards.
       METIS_SPAN("sp_update");
       Schedule improved = schedule;
       int changes = 0;
-      if (options.local_search) changes += reroute_cheaper(instance, improved);
-      if (options.prune) changes += prune_unprofitable(instance, improved);
-      if (options.local_search) changes += reroute_cheaper(instance, improved);
+      if (options.local_search) changes += reroute_cheaper(instance, improved, C);
+      if (options.prune) changes += prune_unprofitable(instance, improved, C);
+      if (options.local_search) changes += reroute_cheaper(instance, improved, C);
       if (changes > 0) {
         const ChargingPlan improved_plan =
             charging_from_loads(compute_loads(instance, improved));
@@ -262,12 +300,30 @@ MetisResult run_metis(const SpmInstance& instance, Rng& rng,
   // order is a function of the accepted set alone), so each re-solve
   // warm-starts from the previous optimum; when acceptance shrinks the
   // shape changes and the solver silently falls back to a cold start.
+  // The incremental path additionally lifts the *previous batch's* basis
+  // into the first solve of each kind (IncrementalContext::lift_from) and
+  // snapshots the last optimal one for the next batch.
   lp::Basis maa_basis, taa_basis;
   MaaOptions maa_options = options.maa;
   TaaOptions taa_options = options.taa;
   if (options.warm_start) {
     maa_options.warm_basis = &maa_basis;
     taa_options.warm_basis = &taa_basis;
+  }
+  IncrementalContext maa_inc, taa_inc;
+  if (state != nullptr) {
+    maa_inc.committed = &pin;
+    maa_inc.committed_loads = &pinned_loads;
+    taa_inc.committed = &pin;
+    taa_inc.committed_loads = &pinned_loads;
+    if (options.warm_start) {
+      maa_inc.lift_from = &state->maa;
+      maa_inc.snapshot_out = &state->maa;
+      taa_inc.lift_from = &state->taa;
+      taa_inc.snapshot_out = &state->taa;
+    }
+    maa_options.incremental = &maa_inc;
+    taa_options.incremental = &taa_inc;
   }
 
   for (int loop = 0; loop < max_loops; ++loop) {
@@ -284,10 +340,11 @@ MetisResult run_metis(const SpmInstance& instance, Rng& rng,
     }
     iter.profit_after_maa = record(maa.schedule, maa.plan).profit;
 
-    // BW Limiter: trim the least-utilized link (rule tau).
+    // BW Limiter: trim the least-utilized link (rule tau), never below the
+    // pinned floor.
     ChargingPlan limited = maa.plan;
-    iter.trimmed_edge =
-        trim_min_utilization_link(instance, maa.schedule, limited, options.trim_units);
+    iter.trimmed_edge = trim_min_utilization_link(
+        instance, maa.schedule, limited, options.trim_units, &floor_units);
     if (iter.trimmed_edge < 0) {
       result.history.push_back(iter);
       ++result.iterations_run;
@@ -319,11 +376,11 @@ MetisResult run_metis(const SpmInstance& instance, Rng& rng,
     telemetry::gauge_set("metis.cost", result.best.cost);
     telemetry::gauge_set("metis.accepted", result.best.accepted);
 
-    // The declined requests leave the working set (convergence argument of
-    // Section II.C).
-    std::vector<bool> next(instance.num_requests(), false);
+    // The declined *free* requests leave the working set (convergence
+    // argument of Section II.C); commitments never re-enter it.
+    std::vector<bool> next(K, false);
     int remaining = 0;
-    for (int i = 0; i < instance.num_requests(); ++i) {
+    for (int i = C; i < K; ++i) {
       next[i] = taa.schedule.accepted(i);
       remaining += next[i] ? 1 : 0;
     }
@@ -331,6 +388,19 @@ MetisResult run_metis(const SpmInstance& instance, Rng& rng,
     accepted = std::move(next);
   }
   return result;
+}
+
+}  // namespace
+
+MetisResult run_metis(const SpmInstance& instance, Rng& rng,
+                      const MetisOptions& options) {
+  return run_metis_impl(instance, rng, options, nullptr);
+}
+
+MetisResult run_metis_incremental(const SpmInstance& instance,
+                                  IncrementalState& state, Rng& rng,
+                                  const MetisOptions& options) {
+  return run_metis_impl(instance, rng, options, &state);
 }
 
 }  // namespace metis::core

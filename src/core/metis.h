@@ -17,6 +17,7 @@
 
 #include "core/accounting.h"
 #include "core/instance.h"
+#include "core/lp_builder.h"
 #include "core/maa.h"
 #include "core/schedule.h"
 #include "core/taa.h"
@@ -55,6 +56,7 @@ struct MetisOptions {
     options.rounding_trials = 8;
     return options;
   }();
+  /// Inner TAA options (augmentation, fallback mu, LP knobs).
   TaaOptions taa;
   /// Carry a simplex basis across alternation iterations: the RL-SPM and
   /// BL-SPM re-solves warm-start from the previous loop's optimal basis
@@ -66,10 +68,10 @@ struct MetisOptions {
 
 /// One loop's bookkeeping (for convergence plots and the theta ablation).
 struct MetisIteration {
-  double profit_after_maa = 0;
-  double profit_after_taa = 0;
-  int accepted_after_taa = 0;
-  int trimmed_edge = -1;
+  double profit_after_maa = 0;  ///< profit of the MAA candidate this loop
+  double profit_after_taa = 0;  ///< profit of the TAA candidate this loop
+  int accepted_after_taa = 0;   ///< acceptance count after the TAA pass
+  int trimmed_edge = -1;        ///< edge trimmed by the BW limiter (-1: none)
 };
 
 struct MetisResult {
@@ -88,27 +90,64 @@ struct MetisResult {
   lp::SolveStats lp_stats;
 };
 
-/// BW Limiter: among edges with plan.units > 0, reduces the one whose
-/// average utilization (mean_t load / units) is minimal by `units` (floor 0).
-/// Returns the trimmed edge id, or -1 when no edge is purchasable.
+/// BW Limiter: among edges with plan.units above their floor, reduces the
+/// one whose average utilization (mean_t load / units) is minimal by
+/// `units`, clamped at the floor.  `floor` is a per-edge minimum purchase
+/// (size num_edges); nullptr means floor 0 everywhere (the offline rule
+/// tau verbatim).  The incremental loop passes the ceiled peaks of the
+/// committed loads so a trim can never cut below what the pinned requests
+/// already consume.  Returns the trimmed edge id, or -1 when every edge is
+/// at its floor.
 int trim_min_utilization_link(const SpmInstance& instance, const Schedule& schedule,
-                              ChargingPlan& plan, int units = 1);
+                              ChargingPlan& plan, int units = 1,
+                              const std::vector<int>* floor = nullptr);
 
 /// Profit pruning: repeatedly declines the accepted request with the worst
 /// (value - cost saving of removing it) as long as that quantity is
 /// negative, where the saving is the drop in ceiled charging on the
 /// request's path.  Returns the number of requests declined.  Every removal
-/// strictly increases evaluate(instance, schedule).profit.
-int prune_unprofitable(const SpmInstance& instance, Schedule& schedule);
+/// strictly increases evaluate(instance, schedule).profit.  Requests below
+/// `first_mutable` are commitments: their loads still count, but they are
+/// never declined.
+int prune_unprofitable(const SpmInstance& instance, Schedule& schedule,
+                       int first_mutable = 0);
 
 /// Routing local search: sweeps accepted requests, moving each onto the
 /// candidate path that minimizes the total ceiled charging cost given the
 /// rest of the schedule, until a sweep makes no move.  Returns the number of
-/// moves.  Never increases cost (and never changes acceptance).
-int reroute_cheaper(const SpmInstance& instance, Schedule& schedule);
+/// moves.  Never increases cost (and never changes acceptance).  Requests
+/// below `first_mutable` are commitments and are never moved.
+int reroute_cheaper(const SpmInstance& instance, Schedule& schedule,
+                    int first_mutable = 0);
 
 /// Runs the full Metis loop.
 MetisResult run_metis(const SpmInstance& instance, Rng& rng,
                       const MetisOptions& options = {});
+
+/// Cross-batch carry-over of the online admission pipeline (sim/online.h).
+/// With `committed` empty and fresh snapshots, run_metis_incremental is
+/// bit-identical to run_metis — the anchor the single-batch test pins.
+struct IncrementalState {
+  /// Hard commitments: final decisions for the first `committed.size()`
+  /// requests of the instance, in arrival order (path index or kDeclined).
+  /// Committed requests are excluded from re-optimization: accepted ones
+  /// keep their path (their loads move into the LP right-hand sides and
+  /// floor the BW limiter), declined ones stay declined.
+  std::vector<int> committed;
+  /// Shape + optimal basis of the last RL-SPM / BL-SPM solve, lifted onto
+  /// the next batch's models for a cross-batch warm start (lp/basis_lift.h).
+  /// Updated in place by every optimal inner solve; start empty.
+  ModelSnapshot maa;
+  ModelSnapshot taa;
+};
+
+/// Metis over `instance` treating the leading `state.committed.size()`
+/// requests as already decided.  The returned schedule/plan/profit cover
+/// the *whole* instance (commitments included); the caller appends the new
+/// decisions to `state.committed` before the next batch.  `state` is only
+/// mutated through its snapshots.
+MetisResult run_metis_incremental(const SpmInstance& instance,
+                                  IncrementalState& state, Rng& rng,
+                                  const MetisOptions& options = {});
 
 }  // namespace metis::core

@@ -28,7 +28,10 @@
 
 namespace metis::core {
 
+struct IncrementalContext;  // core/lp_builder.h
+
 struct TaaOptions {
+  /// Greedy re-admission of walk-declined requests that still fit.
   bool augment = true;
   /// Fallback mu when inequality (6) has no solution (tiny capacities).
   double fallback_mu = 0.5;
@@ -37,16 +40,25 @@ struct TaaOptions {
   /// With a non-zero weight `lp_revenue` holds the LP *objective*, which is
   /// no longer an upper bound on revenue.
   double cost_weight = 0;
+  /// Simplex knobs for the relaxation solve.
   lp::SimplexOptions lp;
   /// Optional basis-reuse slot for the BL-SPM relaxation (see
   /// MaaOptions::warm_basis): consecutive Metis iterations re-solve the
   /// same-shaped LP with only capacities/acceptance perturbed.
   lp::Basis* warm_basis = nullptr;
+  /// Online admission (see IncrementalState in metis.h): when non-null,
+  /// committed requests are pinned — excluded from the LP (their loads are
+  /// subtracted from the capacity rows' RHS), pre-loaded into the walk's
+  /// feasibility guard, and merged verbatim into the returned schedule —
+  /// and, when `warm_basis` is empty, the relaxation lifts a cross-batch
+  /// warm start from `incremental->lift_from` and snapshots its own optimal
+  /// basis into `incremental->snapshot_out`.  Null: plain offline solve.
+  const IncrementalContext* incremental = nullptr;
 };
 
 struct TaaResult {
-  lp::SolveStatus status = lp::SolveStatus::NotSolved;
-  Schedule schedule;
+  lp::SolveStatus status = lp::SolveStatus::NotSolved;  ///< relaxation outcome
+  Schedule schedule;  ///< accepted path per request under the capacities
   double lp_revenue = 0;   ///< optimal relaxed revenue (upper bound)
   double revenue = 0;      ///< revenue of the returned schedule
   double mu = 0;           ///< scaling factor actually used

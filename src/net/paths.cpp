@@ -6,6 +6,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "util/telemetry.h"
+
 namespace metis::net {
 
 namespace {
@@ -186,6 +188,21 @@ std::vector<Path> all_simple_paths(const Topology& topo, NodeId src, NodeId dst,
   Path current;
   dfs_paths(topo, src, dst, max_hops, visited, current, out);
   return out;
+}
+
+const std::vector<Path>& PathCache::paths(NodeId src, NodeId dst, int k,
+                                          PathMetric metric) {
+  const auto key = std::make_tuple(src, dst, k, static_cast<int>(metric));
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    telemetry::count("net.path_cache_hits");
+    return it->second;
+  }
+  ++misses_;
+  telemetry::count("net.path_cache_misses");
+  return cache_.emplace(key, k_shortest_paths(*topo_, src, dst, k, metric))
+      .first->second;
 }
 
 }  // namespace metis::net

@@ -6,7 +6,10 @@
 // available as an alternative metric.
 #pragma once
 
+#include <cstddef>
+#include <map>
 #include <optional>
+#include <tuple>
 #include <vector>
 
 #include "net/topology.h"
@@ -51,5 +54,31 @@ std::vector<Path> k_shortest_paths(const Topology& topo, NodeId src, NodeId dst,
 /// (test oracle; exponential, use on small graphs only).
 std::vector<Path> all_simple_paths(const Topology& topo, NodeId src, NodeId dst,
                                    int max_hops);
+
+/// Memoizing front-end for k_shortest_paths, keyed by (src, dst, k, metric).
+/// The online admission pipeline rebuilds an SpmInstance per batch over one
+/// fixed topology, re-running Yen for the same DC pairs every time; routing
+/// this through a cache makes recurring pairs a lookup.  The cache holds a
+/// reference to the topology it was built for and must not outlive it; it
+/// may serve any topology *copy* with identical edges (candidate paths are
+/// edge-id lists).  Not thread-safe — one cache per simulation thread.
+class PathCache {
+ public:
+  explicit PathCache(const Topology& topo) : topo_(&topo) {}
+
+  /// Cached k_shortest_paths(topo, src, dst, k, metric).  The reference is
+  /// stable until the cache is destroyed (std::map nodes do not move).
+  const std::vector<Path>& paths(NodeId src, NodeId dst, int k,
+                                 PathMetric metric = PathMetric::Price);
+
+  std::size_t hits() const { return hits_; }     ///< lookups served cached
+  std::size_t misses() const { return misses_; }  ///< lookups that ran Yen
+
+ private:
+  const Topology* topo_;
+  std::map<std::tuple<NodeId, NodeId, int, int>, std::vector<Path>> cache_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
 
 }  // namespace metis::net

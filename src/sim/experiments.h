@@ -16,9 +16,9 @@
 namespace metis::sim {
 
 struct SweepConfig {
-  std::vector<int> request_counts;
-  std::uint64_t seed = 1;
-  int repetitions = 3;
+  std::vector<int> request_counts;  ///< x-axis points (K per cycle)
+  std::uint64_t seed = 1;           ///< base seed; each cell derives its own
+  int repetitions = 3;              ///< independent workloads averaged per point
   /// Worker threads for the (request-count x repetition) cell grid (0 = all
   /// hardware threads, 1 = serial).  Every cell already owns an
   /// independently seeded Rng, so results are identical for every thread
@@ -29,10 +29,10 @@ struct SweepConfig {
 // ---- Fig. 3: Metis vs OPT(SPM) vs OPT(RL-SPM) on SUB-B4 ----------------
 
 struct Fig3Row {
-  int num_requests = 0;
-  SolutionMetrics metis;
-  SolutionMetrics opt_spm;
-  SolutionMetrics opt_rl_spm;
+  int num_requests = 0;        ///< K at this x-axis point
+  SolutionMetrics metis;       ///< mean over repetitions
+  SolutionMetrics opt_spm;     ///< exact (or budget-capped) OPT(SPM)
+  SolutionMetrics opt_rl_spm;  ///< accept-all optimum
   bool opt_exact = true;       ///< OPT(SPM) proven optimal on every rep
   double metis_ms = 0;         ///< mean wall-clock per run
   double opt_spm_ms = 0;
@@ -41,7 +41,7 @@ struct Fig3Row {
 
 struct Fig3Config {
   SweepConfig sweep;
-  int theta = 24;
+  int theta = 24;  ///< Metis alternation loops
   /// Node/time budget for the exact baselines.  Both OPT solvers are
   /// warm-started (OPT(SPM) from Metis's decision, OPT(RL-SPM) from a
   /// best-of-32 MAA rounding), so with a finite budget they report "best
@@ -54,9 +54,9 @@ std::vector<Fig3Row> run_fig3(const Fig3Config& config);
 // ---- Fig. 4a: MAA vs MinCost service cost on B4 -------------------------
 
 struct Fig4aRow {
-  int num_requests = 0;
-  double maa_cost = 0;
-  double mincost_cost = 0;
+  int num_requests = 0;         ///< K at this x-axis point
+  double maa_cost = 0;          ///< mean MAA service cost (Σ u_e c_e)
+  double mincost_cost = 0;      ///< mean fixed-rule MinCost service cost
   double lp_lower_bound = 0;    ///< relaxation cost (floor for both)
   double mincost_over_maa = 0;  ///< the paper's "up to 21.1%" ratio
 };
@@ -76,16 +76,16 @@ std::vector<Fig4aRow> run_fig4a(const Fig4aConfig& config);
 /// the best ILP incumbent over-states it (so ratio_*_vs_ilp under-states);
 /// when `ilp_exact` is true the ILP column *is* the paper's ratio.
 struct Fig4bRow {
-  Network network = Network::B4;
-  int num_requests = 0;
-  int trials = 0;
+  Network network = Network::B4;  ///< topology of this row
+  int num_requests = 0;           ///< K at this x-axis point
+  int trials = 0;                 ///< rounding repetitions measured
   double lp_bound_cost = 0;    ///< LP relaxation objective
   double ilp_cost = 0;         ///< best ILP incumbent (0 when disabled)
   bool ilp_exact = false;      ///< ILP proven optimal within budget
-  double ratio_mean_vs_lp = 0;
-  double ratio_mean_vs_ilp = 0;
-  double ratio_p95_vs_ilp = 0;
-  double ratio_max_vs_ilp = 0;
+  double ratio_mean_vs_lp = 0;   ///< mean trial cost / LP bound (over-states)
+  double ratio_mean_vs_ilp = 0;  ///< mean trial cost / ILP incumbent
+  double ratio_p95_vs_ilp = 0;   ///< empirical 95th percentile of the ratio
+  double ratio_max_vs_ilp = 0;   ///< worst trial
 };
 
 struct Fig4bConfig {
@@ -109,12 +109,12 @@ std::vector<Fig4bRow> run_fig4b(const Fig4bConfig& config);
 // ---- Fig. 4c/4d: TAA vs Amoeba under uniform 100 Gbps links -------------
 
 struct Fig4cdRow {
-  int num_requests = 0;
-  double taa_revenue = 0;
-  double amoeba_revenue = 0;
-  double taa_accepted = 0;
-  double amoeba_accepted = 0;
-  double lp_revenue_bound = 0;
+  int num_requests = 0;         ///< K at this x-axis point
+  double taa_revenue = 0;       ///< mean accepted value under TAA
+  double amoeba_revenue = 0;    ///< mean accepted value under Amoeba
+  double taa_accepted = 0;      ///< mean accepted request count (TAA)
+  double amoeba_accepted = 0;   ///< mean accepted request count (Amoeba)
+  double lp_revenue_bound = 0;  ///< BL-SPM relaxation objective (ceiling)
 };
 
 struct Fig4cdConfig {
@@ -127,14 +127,14 @@ std::vector<Fig4cdRow> run_fig4cd(const Fig4cdConfig& config);
 // ---- Fig. 5: Metis vs EcoFlow on B4 --------------------------------------
 
 struct Fig5Row {
-  int num_requests = 0;
-  SolutionMetrics metis;
-  SolutionMetrics ecoflow;
+  int num_requests = 0;     ///< K at this x-axis point
+  SolutionMetrics metis;    ///< mean over repetitions
+  SolutionMetrics ecoflow;  ///< mean over repetitions
 };
 
 struct Fig5Config {
   SweepConfig sweep;
-  int theta = 32;
+  int theta = 32;  ///< Metis alternation loops
 };
 
 std::vector<Fig5Row> run_fig5(const Fig5Config& config);

@@ -10,7 +10,7 @@
 namespace metis::sim {
 
 struct SolutionMetrics {
-  core::ProfitBreakdown breakdown;
+  core::ProfitBreakdown breakdown;  ///< revenue / cost / profit / accepted
   /// min/avg/max across purchased links of their time-averaged utilization.
   Summary utilization;
 };

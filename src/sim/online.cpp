@@ -1,0 +1,136 @@
+#include "sim/online.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/telemetry.h"
+
+namespace metis::sim {
+
+OnlineAdmissionSimulator::OnlineAdmissionSimulator(OnlineConfig config)
+    : config_(std::move(config)) {
+  if (config_.batch_size < 1) {
+    throw std::invalid_argument("OnlineConfig: batch_size must be >= 1");
+  }
+  if (config_.max_batch_delay < 0) {
+    throw std::invalid_argument("OnlineConfig: max_batch_delay must be >= 0");
+  }
+  if (config_.arrivals_per_slot < 0) {
+    throw std::invalid_argument("OnlineConfig: arrivals_per_slot must be >= 0");
+  }
+}
+
+double OnlineAdmissionSimulator::arrival_rate() const {
+  if (config_.arrivals_per_slot > 0) return config_.arrivals_per_slot;
+  return static_cast<double>(config_.base.num_requests) /
+         config_.base.instance.num_slots;
+}
+
+std::vector<workload::Arrival> OnlineAdmissionSimulator::arrivals() const {
+  const net::Topology topo = make_network(config_.base);
+  workload::GeneratorConfig wconfig = config_.base.workload;
+  wconfig.num_slots = config_.base.instance.num_slots;
+  const workload::RequestGenerator generator(topo, wconfig);
+  Rng rng(config_.base.seed);
+  return generator.generate_arrivals(arrival_rate(), rng);
+}
+
+core::MetisResult OnlineAdmissionSimulator::offline_oracle() const {
+  std::vector<workload::Request> book;
+  for (const workload::Arrival& a : arrivals()) book.push_back(a.request);
+  core::SpmInstance instance(make_network(config_.base), std::move(book),
+                             config_.base.instance);
+  // Same stream id the replay gives its first batch: with one batch the
+  // two runs draw identically, which is what makes them bit-identical.
+  Rng rng = Rng(config_.base.seed).split(0);
+  return core::run_metis(instance, rng, config_.metis);
+}
+
+OnlineResult OnlineAdmissionSimulator::run() const {
+  METIS_SPAN("online.run");
+  const net::Topology topo = make_network(config_.base);
+  const std::vector<workload::Arrival> stream = arrivals();
+
+  net::PathCache cache(topo);
+  net::PathCache* cache_ptr = config_.reuse_path_cache ? &cache : nullptr;
+
+  OnlineResult result;
+  result.total_arrivals = static_cast<int>(stream.size());
+  result.schedule = core::Schedule::all_declined(0);
+  result.plan = core::ChargingPlan::none(topo.num_edges());
+
+  std::vector<workload::Request> book;  // every arrival so far, in order
+  book.reserve(stream.size());
+  core::IncrementalState state;
+
+  const auto flush = [&](double flush_time) {
+    METIS_SPAN("online.batch");
+    const int batch_index = static_cast<int>(result.batches.size());
+    const int committed_before = static_cast<int>(state.committed.size());
+    BatchRecord rec;
+    rec.batch = batch_index;
+    rec.arrivals = static_cast<int>(book.size()) - committed_before;
+    rec.flush_time = flush_time;
+
+    const telemetry::Stopwatch decide_timer;
+    core::SpmInstance instance(topo, book, config_.base.instance, cache_ptr);
+    if (!config_.cross_batch_warm_start) {
+      state.maa.clear();
+      state.taa.clear();
+    }
+    // Index-addressed per-batch stream: the draw sequence of batch b does
+    // not depend on how many batches preceded it, so the sweep over batch
+    // sizes stays deterministic for any thread count.
+    Rng rng = Rng(config_.base.seed).split(static_cast<std::uint64_t>(batch_index));
+    const core::MetisResult decided =
+        core::run_metis_incremental(instance, state, rng, config_.metis);
+    rec.decide_ms = decide_timer.ms();
+    telemetry::observe("online.decide_ms", rec.decide_ms);
+
+    // Commit this batch's decisions: accepted stays accepted, declined is
+    // final.  The committed prefix then covers the whole book.
+    for (int i = committed_before; i < static_cast<int>(book.size()); ++i) {
+      const int choice = decided.schedule.path_choice[i];
+      state.committed.push_back(choice);
+      if (choice != core::kDeclined) ++rec.accepted;
+    }
+    result.total_accepted += rec.accepted;
+    rec.profit = decided.best.profit;
+    rec.lp_stats = decided.lp_stats;
+    result.lp_stats += decided.lp_stats;
+    result.schedule = decided.schedule;
+    result.plan = decided.plan;
+    result.profit = decided.best;
+    telemetry::count("online.batches");
+    telemetry::gauge_set("online.profit", rec.profit);
+    result.batches.push_back(std::move(rec));
+  };
+
+  // Arrival-ordered replay.  Deadline flushes happen *before* the arrival
+  // that reveals time has passed the oldest queued request's deadline —
+  // the simulator only advances its clock on events.
+  double oldest_queued = 0;
+  for (const workload::Arrival& a : stream) {
+    const bool pending = book.size() > state.committed.size();
+    if (pending && config_.max_batch_delay > 0 &&
+        a.arrival_time > oldest_queued + config_.max_batch_delay) {
+      flush(oldest_queued + config_.max_batch_delay);
+    }
+    if (book.size() == state.committed.size()) oldest_queued = a.arrival_time;
+    book.push_back(a.request);
+    if (static_cast<int>(book.size()) - static_cast<int>(state.committed.size()) >=
+        config_.batch_size) {
+      flush(a.arrival_time);
+    }
+  }
+  // End of cycle: whatever is still queued gets decided at the cycle edge.
+  if (book.size() > state.committed.size()) {
+    flush(static_cast<double>(config_.base.instance.num_slots));
+  }
+
+  result.path_cache_hits = cache.hits();
+  result.path_cache_misses = cache.misses();
+  return result;
+}
+
+}  // namespace metis::sim

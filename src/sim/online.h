@@ -1,0 +1,112 @@
+// OnlineAdmissionSimulator: event-driven (arrival-ordered) replay of one
+// billing cycle for the streaming admission regime.
+//
+// The paper decides a whole cycle's bid book at once; a production provider
+// sees a *stream* of requests and must answer each within a bounded delay,
+// with accepted requests staying accepted.  This simulator:
+//
+//   1. draws a within-cycle arrival stream (workload::Arrival, timestamped),
+//   2. queues arrivals into batches — flushed when `batch_size` requests
+//      are waiting or the oldest has waited `max_batch_delay` slots,
+//   3. re-decides each batch with core::run_metis_incremental, pinning all
+//      previously committed requests (the core::IncrementalState carries
+//      the acceptance set, path choices, and the last optimal LP bases for
+//      cross-batch warm starts via lp/basis_lift.h),
+//   4. reuses one net::PathCache across all batch instances.
+//
+// batch_size >= the whole stream collapses to a single batch whose decision
+// is bit-identical to the offline run_metis over the same book — the
+// `offline_oracle()` below; batch_size = 1 is pure online admission.  The
+// batch-size sweep between the two measures the price of commitment
+// (bench/bench_online_admission.cpp).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/metis.h"
+#include "sim/scenario.h"
+#include "workload/generator.h"
+
+namespace metis::sim {
+
+struct OnlineConfig {
+  /// Template for the cycle: network, seed, workload shape, instance
+  /// config.  `base.num_requests` sets the *expected* stream length (the
+  /// Poisson rate is num_requests / num_slots unless overridden below).
+  Scenario base;
+  /// Mean arrivals per slot of the Poisson stream; 0 (the default) derives
+  /// it from base.num_requests so Scenario presets carry over.
+  double arrivals_per_slot = 0;
+  /// Flush a batch as soon as this many requests are queued (>= 1).
+  int batch_size = 8;
+  /// Also flush when the oldest queued request has waited this many slots
+  /// (fractional allowed); 0 disables the deadline — count-only batching.
+  double max_batch_delay = 0;
+  /// Options for every incremental Metis re-decide.
+  core::MetisOptions metis;
+  /// Lift the previous batch's optimal LP bases into the next batch's
+  /// first RL-SPM/BL-SPM solves (lp/basis_lift.h).  Off = every batch
+  /// cold-starts its first solves — the ablation the bench reports as
+  /// warm-vs-cold simplex iterations.  Decisions are identical either way;
+  /// only the iteration counts move.
+  bool cross_batch_warm_start = true;
+  /// Share one net::PathCache across batch instances (identical paths,
+  /// fewer Yen runs).
+  bool reuse_path_cache = true;
+};
+
+/// One batch re-decide, in flush order.
+struct BatchRecord {
+  int batch = 0;          ///< 0-based flush index
+  int arrivals = 0;       ///< requests decided in this batch
+  double flush_time = 0;  ///< slot time at which the batch was decided
+  int accepted = 0;       ///< newly accepted (of this batch's arrivals)
+  double profit = 0;      ///< committed-book profit after this batch
+  double decide_ms = 0;   ///< wall clock of the re-decide (not deterministic)
+  lp::SolveStats lp_stats;  ///< simplex work, incl. warm/cold start counts
+};
+
+struct OnlineResult {
+  std::vector<BatchRecord> batches;
+  int total_arrivals = 0;
+  int total_accepted = 0;
+  /// Final committed decision over the whole stream (arrival order) and
+  /// its evaluation — comparable to a MetisResult on the same book.
+  core::Schedule schedule;
+  core::ChargingPlan plan;
+  core::ProfitBreakdown profit;
+  /// Aggregate LP work across every batch (sum of batch lp_stats).
+  lp::SolveStats lp_stats;
+  std::size_t path_cache_hits = 0;
+  std::size_t path_cache_misses = 0;
+};
+
+class OnlineAdmissionSimulator {
+ public:
+  explicit OnlineAdmissionSimulator(OnlineConfig config);
+
+  /// Replays the cycle: deterministic in config (thread-count independent —
+  /// everything runs on the caller's thread except Metis's own
+  /// deterministic rounding pool).  Emits telemetry spans ("online.batch")
+  /// and the "online.decide_ms" histogram per batch.
+  OnlineResult run() const;
+
+  /// The full arrival stream the replay will see (deterministic in
+  /// base.seed; exposed for tests and the bench).
+  std::vector<workload::Arrival> arrivals() const;
+
+  /// Offline oracle: one plain run_metis over the entire stream's book —
+  /// the paper's regime, equal bit for bit to run() with a single batch
+  /// (batch_size >= stream length and no deadline).
+  core::MetisResult offline_oracle() const;
+
+  const OnlineConfig& config() const { return config_; }
+
+ private:
+  double arrival_rate() const;
+
+  OnlineConfig config_;
+};
+
+}  // namespace metis::sim

@@ -21,8 +21,8 @@
 namespace metis::sim {
 
 struct Decision {
-  core::Schedule schedule;
-  core::ChargingPlan plan;
+  core::Schedule schedule;   ///< per-request path choice or kDeclined
+  core::ChargingPlan plan;   ///< integer units purchased per edge (10 Gbps each)
 };
 
 class Policy {

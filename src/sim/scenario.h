@@ -16,11 +16,11 @@ enum class Network { B4, SubB4 };
 std::string to_string(Network network);
 
 struct Scenario {
-  Network network = Network::B4;
-  int num_requests = 100;
-  std::uint64_t seed = 1;
-  core::InstanceConfig instance;   // num_slots, max_paths
-  workload::GeneratorConfig workload;
+  Network network = Network::B4;   ///< topology preset
+  int num_requests = 100;          ///< bid-book size K (expected, if Poisson)
+  std::uint64_t seed = 1;          ///< workload RNG seed
+  core::InstanceConfig instance;   ///< num_slots (T), max_paths (L_i cap)
+  workload::GeneratorConfig workload;  ///< rates/values model knobs
   /// If > 0, every link gets this uniform capacity (the Fig. 4c/4d setup);
   /// 0 leaves links uncapacitated.
   int uniform_capacity = 0;

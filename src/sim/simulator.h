@@ -22,6 +22,7 @@ struct SimulationConfig {
   /// Template for every cycle; `seed` is advanced per cycle, and
   /// `num_requests` grows by `demand_growth` per cycle (compounded).
   Scenario base;
+  /// Number of consecutive billing cycles to play.
   int cycles = 6;
   /// Fractional request-count growth per cycle (0.15 = +15% per cycle).
   double demand_growth = 0;
@@ -34,20 +35,22 @@ struct SimulationConfig {
 };
 
 struct CycleOutcome {
-  int cycle = 0;
+  int cycle = 0;                  ///< 0-based cycle index
   int offered_requests = 0;       ///< size of the cycle's bid book
   core::ProfitBreakdown result;   ///< the policy's decision, evaluated
   double decide_ms = 0;           ///< wall-clock of Policy::decide
 };
 
+/// One policy's whole run: per-cycle outcomes plus their sums (money in the
+/// workload's value scale, counts in requests).
 struct PolicyOutcome {
-  std::string policy;
-  std::vector<CycleOutcome> cycles;
-  double total_profit = 0;
-  double total_revenue = 0;
-  double total_cost = 0;
-  int total_accepted = 0;
-  int total_offered = 0;
+  std::string policy;                ///< Policy::name()
+  std::vector<CycleOutcome> cycles;  ///< in cycle order
+  double total_profit = 0;           ///< Σ cycle profit
+  double total_revenue = 0;          ///< Σ cycle revenue
+  double total_cost = 0;             ///< Σ cycle bandwidth cost
+  int total_accepted = 0;            ///< Σ accepted requests
+  int total_offered = 0;             ///< Σ offered requests
 };
 
 class BillingCycleSimulator {

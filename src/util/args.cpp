@@ -6,6 +6,17 @@
 namespace metis {
 
 ArgParser::ArgParser(int argc, const char* const* argv) {
+  // Repeating a flag is rejected rather than last-wins: a sweep script that
+  // appends `--seed 2` to a template already containing `--seed 1` should
+  // fail loudly, not silently drop half its configuration.
+  const auto store = [this](const std::string& name, std::string value) {
+    if (name.empty()) {
+      throw std::invalid_argument("empty flag name: --" + (value.empty() ? "" : "=" + value));
+    }
+    if (!values_.emplace(name, std::move(value)).second) {
+      throw std::invalid_argument("duplicate flag: --" + name);
+    }
+  };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -18,18 +29,20 @@ ArgParser::ArgParser(int argc, const char* const* argv) {
     arg = arg.substr(2);
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
-      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      store(arg.substr(0, eq), arg.substr(eq + 1));
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      values_[arg] = argv[++i];
+      store(arg, argv[++i]);
     } else {
-      values_[arg] = "true";  // boolean switch
+      store(arg, "true");  // boolean switch
     }
   }
 }
 
 std::string ArgParser::get(const std::string& name, const std::string& default_value) {
+  // A flag read twice (e.g. once to branch, once to print) is still listed
+  // once in usage().
+  if (!consumed_.count(name)) declared_.emplace_back(name, default_value);
   consumed_[name] = true;
-  declared_.emplace_back(name, default_value);
   const auto it = values_.find(name);
   return it == values_.end() ? default_value : it->second;
 }

@@ -1,5 +1,7 @@
 #include "workload/generator.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 
 #include "net/paths.h"
@@ -76,6 +78,35 @@ std::vector<Request> RequestGenerator::generate_poisson(double arrivals_per_slot
     const int arrivals = rng.poisson(arrivals_per_slot);
     for (int i = 0; i < arrivals; ++i) out.push_back(sample_one(slot, rng));
   }
+  return out;
+}
+
+std::vector<Arrival> RequestGenerator::generate_arrivals(double arrivals_per_slot,
+                                                         Rng& rng) const {
+  if (arrivals_per_slot < 0) {
+    throw std::invalid_argument("generate_arrivals: negative rate");
+  }
+  // Fork before the empty-rate early return so the caller's generator
+  // advances exactly once for any rate.
+  const Rng base = rng.fork();
+  std::vector<Arrival> out;
+  if (arrivals_per_slot == 0) return out;
+  for (int slot = 0; slot < config_.num_slots; ++slot) {
+    Rng slot_rng = base.split(static_cast<std::uint64_t>(slot));
+    const int arrivals = slot_rng.poisson(arrivals_per_slot);
+    for (int i = 0; i < arrivals; ++i) {
+      Arrival a;
+      a.arrival_time = slot + slot_rng.uniform(0.0, 1.0);
+      a.request = sample_one(slot, slot_rng);
+      out.push_back(std::move(a));
+    }
+  }
+  // Within a slot timestamps are i.i.d. uniform, so stable_sort keeps the
+  // generation order on (measure-zero) ties — fully deterministic output.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Arrival& a, const Arrival& b) {
+                     return a.arrival_time < b.arrival_time;
+                   });
   return out;
 }
 

@@ -38,6 +38,16 @@ struct GeneratorConfig {
   double low_value_max = 0.4;
 };
 
+/// One within-cycle arrival: a request plus the continuous time at which it
+/// reaches the admission queue (the online pipeline's event stream).
+struct Arrival {
+  Request request;
+  /// Arrival time in slot units, in [request.start_slot,
+  /// request.start_slot + 1): a request arrives during the slot in which
+  /// its reservation starts — it cannot book the past.
+  double arrival_time = 0;
+};
+
 class RequestGenerator {
  public:
   /// Endpoint pairs are sampled only among pairs connected in `topo`.
@@ -52,6 +62,17 @@ class RequestGenerator {
   /// Open-ended Poisson form: the number of arrivals in each slot is
   /// Poisson(`arrivals_per_slot`); expected total = T * arrivals_per_slot.
   std::vector<Request> generate_poisson(double arrivals_per_slot, Rng& rng) const;
+
+  /// Within-cycle arrival stream (online admission): like generate_poisson,
+  /// but each request carries a continuous arrival timestamp uniform within
+  /// its start slot, and the result is sorted by arrival_time.  Each slot
+  /// draws from its own index-addressed stream (`rng.fork()` then
+  /// `split(slot)`), so slot s's arrivals do not depend on how many arrivals
+  /// earlier slots produced, and the caller's generator advances exactly
+  /// once regardless of the realized count.  `arrivals_per_slot == 0` is
+  /// allowed and yields an empty stream (an idle cycle); negative throws.
+  std::vector<Arrival> generate_arrivals(double arrivals_per_slot,
+                                         Rng& rng) const;
 
   const GeneratorConfig& config() const { return config_; }
 

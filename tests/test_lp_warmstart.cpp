@@ -10,6 +10,7 @@
 
 #include "core/accounting.h"
 #include "core/lp_builder.h"
+#include "lp/basis_lift.h"
 #include "lp/simplex.h"
 #include "sim/scenario.h"
 #include "util/rng.h"
@@ -188,6 +189,133 @@ TEST(WarmStart, ObjectivePerturbationMatchesColdOnRandomSequence) {
     const int j = rng.uniform_int(0, n - 1);
     p.set_objective_coef(j, p.objective_coef(j) + rng.uniform(-0.5, 0.5));
   }
+}
+
+// ---------------------------------------------------------- basis lift ----
+// Cross-shape reuse (lp/basis_lift.h): mapping the persistent part of an
+// old basis onto a differently-shaped problem.  Correctness never depends
+// on the lift — a rejected or empty lift is just a cold start — so these
+// tests pin the mapping/repair mechanics and the end-to-end payoff.
+
+TEST(BasisLift, EmptyOrIncompatibleOldBasisYieldsEmpty) {
+  const std::vector<int> cols = {0, -1};
+  const std::vector<int> rows = {0};
+  EXPECT_TRUE(lift_basis(Basis{}, 2, 1, cols, rows).empty());
+  Basis wrong_shape;
+  wrong_shape.status.assign(2, BasisStatus::Basic);  // claims 2 != 2+1 slots
+  EXPECT_TRUE(lift_basis(wrong_shape, 2, 1, cols, rows).empty());
+}
+
+TEST(BasisLift, MapsStatusesAndDefaultsNewEntities) {
+  // Old: 3 columns + 2 rows.  New: 4 columns (old0, old2, two new) and
+  // 3 rows (old1, two new).
+  Basis old_basis;
+  old_basis.status = {BasisStatus::Basic,  BasisStatus::AtLower,
+                      BasisStatus::AtUpper, BasisStatus::Basic,
+                      BasisStatus::AtLower};
+  const std::vector<int> col_of_new = {0, 2, -1, -1};
+  const std::vector<int> row_of_new = {1, -1, -1};
+  const Basis lifted = lift_basis(old_basis, 3, 2, col_of_new, row_of_new);
+  ASSERT_TRUE(lifted.compatible(4, 3));
+  EXPECT_EQ(lifted.status[0], BasisStatus::Basic);    // mapped old col 0
+  EXPECT_EQ(lifted.status[1], BasisStatus::AtUpper);  // mapped old col 2
+  EXPECT_EQ(lifted.status[2], BasisStatus::AtLower);  // new column default
+  EXPECT_EQ(lifted.status[3], BasisStatus::AtLower);
+  EXPECT_EQ(lifted.status[4], BasisStatus::AtLower);  // mapped old row 1 slack
+  EXPECT_EQ(lifted.status[5], BasisStatus::Basic);    // new row slack default
+  EXPECT_EQ(lifted.status[6], BasisStatus::Basic);
+  // 1 basic column + 2 basic slacks == 3 rows: already count-consistent.
+}
+
+TEST(BasisLift, CountRepairDemotesNewRowSlacksFirst) {
+  // Everything Basic in the old basis produces a surplus after the lift;
+  // the repair must park row slacks (new rows first), never structurals.
+  Basis old_basis;
+  old_basis.status.assign(4, BasisStatus::Basic);  // 2 cols + 2 rows
+  const std::vector<int> col_of_new = {0, 1};
+  const std::vector<int> row_of_new = {0, 1, -1};
+  const Basis lifted = lift_basis(old_basis, 2, 2, col_of_new, row_of_new);
+  ASSERT_TRUE(lifted.compatible(2, 3));
+  EXPECT_EQ(lifted.status[0], BasisStatus::Basic);  // structurals untouched
+  EXPECT_EQ(lifted.status[1], BasisStatus::Basic);
+  EXPECT_EQ(lifted.status[2 + 1], BasisStatus::Basic);  // mapped row 1 kept
+  EXPECT_EQ(lifted.status[2 + 2], BasisStatus::AtLower);  // new row demoted 1st
+  EXPECT_EQ(lifted.status[2 + 0], BasisStatus::AtLower);  // then mapped row 0
+}
+
+TEST(BasisLift, BasicNewColumnsHonoredAndBoundsChecked) {
+  Basis old_basis;
+  old_basis.status = {BasisStatus::AtLower, BasisStatus::Basic};  // 1 col, 1 row
+  const std::vector<int> col_of_new = {-1, 0};
+  const std::vector<int> row_of_new = {0};
+  const std::vector<int> mark_basic = {0};
+  const Basis lifted =
+      lift_basis(old_basis, 1, 1, col_of_new, row_of_new, mark_basic);
+  ASSERT_TRUE(lifted.compatible(2, 1));
+  EXPECT_EQ(lifted.status[0], BasisStatus::Basic);  // forced by the caller
+  // Count repair parks the mapped-Basic row slack to end at exactly 1 basic.
+  EXPECT_EQ(lifted.status[2], BasisStatus::AtLower);
+
+  const std::vector<int> bad_col = {5, -1};
+  EXPECT_THROW(lift_basis(old_basis, 1, 1, bad_col, row_of_new),
+               std::invalid_argument);
+  const std::vector<int> bad_mark = {7};
+  EXPECT_THROW(
+      lift_basis(old_basis, 1, 1, col_of_new, row_of_new, bad_mark),
+      std::invalid_argument);
+}
+
+TEST(BasisLift, GrownRlSpmLiftMatchesColdObjective) {
+  // The online pipeline's actual shape change: the same request book plus
+  // ten new arrivals (generate() draws sequentially, so the smaller book
+  // is a prefix of the larger).  Lifting the old optimum must never change
+  // the optimum found; acceptance of the lift is the solver's call.
+  const core::SpmInstance small = small_instance(8, 20);
+  const core::SpmInstance grown = small_instance(8, 30);
+  SimplexSolver solver;
+
+  const core::SpmModel small_model = core::build_rl_spm(small);
+  Basis basis;
+  ASSERT_TRUE(solver.solve(small_model.problem, &basis).ok());
+  core::ModelSnapshot snapshot;
+  core::snapshot_model(small_model, basis, snapshot);
+  ASSERT_FALSE(snapshot.empty());
+
+  const core::SpmModel grown_model = core::build_rl_spm(grown);
+  Basis lifted =
+      core::lift_into_model(snapshot, grown_model, /*equality_assignments=*/true);
+  ASSERT_FALSE(lifted.empty());
+  ASSERT_TRUE(lifted.compatible(grown_model.problem.num_variables(),
+                                grown_model.problem.num_rows()));
+  const LpSolution warm = solver.solve(grown_model.problem, &lifted);
+  const LpSolution cold = solver.solve(grown_model.problem);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(cold.ok());
+  EXPECT_LE(rel_diff(warm.objective, cold.objective), kTol);
+}
+
+TEST(BasisLift, GrownBlSpmLiftMatchesColdObjective) {
+  const core::SpmInstance small = small_instance(9, 20);
+  const core::SpmInstance grown = small_instance(9, 30);
+  core::ChargingPlan caps;
+  caps.units.assign(small.num_edges(), 4);
+  SimplexSolver solver;
+
+  const core::SpmModel small_model = core::build_bl_spm(small, caps);
+  Basis basis;
+  ASSERT_TRUE(solver.solve(small_model.problem, &basis).ok());
+  core::ModelSnapshot snapshot;
+  core::snapshot_model(small_model, basis, snapshot);
+
+  const core::SpmModel grown_model = core::build_bl_spm(grown, caps);
+  Basis lifted = core::lift_into_model(snapshot, grown_model,
+                                       /*equality_assignments=*/false);
+  ASSERT_FALSE(lifted.empty());
+  const LpSolution warm = solver.solve(grown_model.problem, &lifted);
+  const LpSolution cold = solver.solve(grown_model.problem);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(cold.ok());
+  EXPECT_LE(rel_diff(warm.objective, cold.objective), kTol);
 }
 
 }  // namespace

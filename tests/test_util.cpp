@@ -408,5 +408,31 @@ TEST(Args, PositionalArgumentRejected) {
   EXPECT_THROW(ArgParser(2, argv), std::invalid_argument);
 }
 
+// Regression: a repeated flag used to silently last-win, so a sweep script
+// appending `--seed 2` to a template already carrying `--seed 1` dropped
+// half its configuration without a trace.
+TEST(Args, DuplicateFlagRejected) {
+  const char* argv[] = {"prog", "--seed", "1", "--seed", "2"};
+  EXPECT_THROW(ArgParser(5, argv), std::invalid_argument);
+}
+
+TEST(Args, DuplicateFlagRejectedAcrossForms) {
+  const char* argv[] = {"prog", "--seed=1", "--seed", "2"};
+  EXPECT_THROW(ArgParser(4, argv), std::invalid_argument);
+}
+
+// Regression: declaring a flag twice (read once to branch, once to print)
+// used to list it twice in usage().
+TEST(Args, UsageListsRepeatedDeclarationOnce) {
+  const char* argv[] = {"prog"};
+  ArgParser args(1, argv);
+  args.get_int("count", 3);
+  args.get_int("count", 3);
+  const std::string usage = args.usage("test");
+  const auto first = usage.find("--count");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(usage.find("--count", first + 1), std::string::npos);
+}
+
 }  // namespace
 }  // namespace metis
