@@ -82,6 +82,23 @@ ProfitBreakdown evaluate_with_plan(const SpmInstance& instance,
                                    const Schedule& schedule,
                                    const ChargingPlan& plan);
 
+/// SLA-refund ledger (fault repair, sim/faults.h): a provider that revokes
+/// an already-committed acceptance owes the customer a refund proportional
+/// to the bid.  Net profit of a faulted cycle = gross profit of the final
+/// book − `refunded`.
+struct RefundLedger {
+  double refunded = 0;  ///< Σ refunds paid out
+  int drops = 0;        ///< commitments revoked
+
+  /// Books one revoked commitment; returns the refund paid.
+  double charge(double value, double refund_factor) {
+    const double refund = refund_factor * value;
+    refunded += refund;
+    ++drops;
+    return refund;
+  }
+};
+
 /// Link utilization: for each edge with purchased units > 0, the mean over
 /// slots of load/units.  Returns the min/avg/max summary across those edges
 /// (all zeros when nothing is purchased) — the series of Fig. 3c / Fig. 5c.

@@ -1,13 +1,16 @@
 #include "core/instance.h"
 
+#include <algorithm>
 #include <map>
 #include <stdexcept>
+#include <string>
 
 namespace metis::core {
 
 SpmInstance::SpmInstance(net::Topology topology,
                          std::vector<workload::Request> requests,
-                         InstanceConfig config, net::PathCache* path_cache)
+                         InstanceConfig config, net::PathCache* path_cache,
+                         const std::vector<net::Path>* require_paths)
     : topology_(std::move(topology)),
       requests_(std::move(requests)),
       config_(config) {
@@ -16,6 +19,10 @@ SpmInstance::SpmInstance(net::Topology topology,
   }
   if (config_.max_paths <= 0) {
     throw std::invalid_argument("SpmInstance: max_paths must be positive");
+  }
+  if (require_paths != nullptr &&
+      require_paths->size() != requests_.size()) {
+    throw std::invalid_argument("SpmInstance: require_paths size mismatch");
   }
   for (const workload::Request& r : requests_) {
     workload::validate_request(r, topology_.num_nodes(), config_.num_slots);
@@ -38,8 +45,29 @@ SpmInstance::SpmInstance(net::Topology topology,
   }
   paths_.reserve(requests_.size());
   uses_edge_.reserve(requests_.size());
-  for (const workload::Request& r : requests_) {
+  for (std::size_t idx = 0; idx < requests_.size(); ++idx) {
+    const workload::Request& r = requests_[idx];
     paths_.push_back(by_pair.at({r.src, r.dst}));
+    if (require_paths != nullptr && !(*require_paths)[idx].empty()) {
+      const net::Path& required = (*require_paths)[idx];
+      if (!net::is_simple_path(topology_, required, r.src, r.dst)) {
+        throw std::invalid_argument(
+            "SpmInstance: require_paths[" + std::to_string(idx) +
+            "] is not a simple src->dst path");
+      }
+      for (net::EdgeId e : required.edges) {
+        if (!topology_.edge_enabled(e)) {
+          throw std::invalid_argument(
+              "SpmInstance: require_paths[" + std::to_string(idx) +
+              "] crosses a disabled edge");
+        }
+      }
+      auto& candidates = paths_.back();
+      if (std::find(candidates.begin(), candidates.end(), required) ==
+          candidates.end()) {
+        candidates.push_back(required);
+      }
+    }
     std::vector<std::vector<bool>> bitmap;
     for (const net::Path& p : paths_.back()) {
       std::vector<bool> uses(topology_.num_edges(), false);

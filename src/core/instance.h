@@ -32,8 +32,18 @@ class SpmInstance {
   /// memoized.  The online pipeline passes one cache across all of a
   /// cycle's batch instances so recurring (src, dst) pairs cost a lookup;
   /// nullptr computes paths from scratch (identical results either way).
+  ///
+  /// `require_paths` (optional, fault repair): per-request concrete paths
+  /// that must appear in the request's candidate set.  After a topology
+  /// mutation Yen may rank paths differently (or drop the one a committed
+  /// request is pinned to), so the repair machinery passes each survivor's
+  /// reserved path here; if Yen's set misses it, it is appended.  Each
+  /// non-empty entry must be a live (all edges enabled) simple src->dst
+  /// path; empty entries request nothing.  nullptr (or all-empty) leaves
+  /// the candidate sets byte-identical to the plain construction.
   SpmInstance(net::Topology topology, std::vector<workload::Request> requests,
-              InstanceConfig config = {}, net::PathCache* path_cache = nullptr);
+              InstanceConfig config = {}, net::PathCache* path_cache = nullptr,
+              const std::vector<net::Path>* require_paths = nullptr);
 
   const net::Topology& topology() const { return topology_; }
   net::Topology& mutable_topology() { return topology_; }

@@ -79,7 +79,17 @@ std::vector<std::vector<int>> add_capacity_rows(
       } else {
         entries.push_back({c_var[e], -1.0});
       }
-      if (committed > 0) rhs -= committed;
+      if (committed > 0) {
+        rhs -= committed;
+        // Fault repair can shrink an edge's capacity below the load already
+        // committed on it.  In the capacity-bounded form (no c column) a
+        // negative RHS would make the whole LP infeasible even though the
+        // free requests add nothing; clamp to 0 so the row only forbids new
+        // load and the overload stays the repair machinery's problem.  (In
+        // the c-column form a negative RHS is correct — it forces the
+        // purchase to cover the committed load.)
+        if (c_var.empty() && rhs < 0) rhs = 0;
+      }
       cap_row[e][t] = problem.add_row(
           lp::RowType::LessEqual, rhs, std::move(entries),
           "cap_e" + std::to_string(e) + "_t" + std::to_string(t));
@@ -140,13 +150,24 @@ std::vector<int> SpmModel::integer_columns() const {
 
 SpmModel build_rl_spm(const SpmInstance& instance,
                       const std::vector<bool>& accepted_in,
-                      const LoadMatrix* pinned) {
+                      const LoadMatrix* pinned,
+                      const std::vector<int>* purchase_cap) {
   const std::vector<bool> accepted = resolve_accepted(instance, accepted_in);
+  if (purchase_cap != nullptr &&
+      static_cast<int>(purchase_cap->size()) != instance.num_edges()) {
+    throw std::invalid_argument("build_rl_spm: purchase_cap size mismatch");
+  }
   SpmModel model;
   model.problem.set_sense(lp::Sense::Minimize);
   model.x_var = add_x_columns(instance, accepted, /*obj_value_factor=*/0.0,
                               model.problem);
   model.c_var = add_c_columns(instance, model.problem);
+  if (purchase_cap != nullptr) {
+    for (net::EdgeId e = 0; e < instance.num_edges(); ++e) {
+      const int cap = (*purchase_cap)[e];
+      if (cap >= 0) model.problem.set_bounds(model.c_var[e], 0.0, cap);
+    }
+  }
   add_assignment_rows(instance, accepted, model.x_var, lp::RowType::Equal,
                       model.problem);
   model.cap_row = add_capacity_rows(instance, accepted, model.x_var,

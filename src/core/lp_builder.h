@@ -69,9 +69,17 @@ struct SpmModel {
 /// with either a potential free load or a positive pinned load.  Passing
 /// nullptr (or an all-zero matrix) reproduces the offline model exactly,
 /// byte for byte — the bit-identity anchor of the single-batch online mode.
+///
+/// `purchase_cap` (optional, fault repair): per-edge ceiling on the c_e
+/// purchase column (size num_edges); an entry < 0 leaves that edge
+/// uncapacitated.  RL-SPM's columns are otherwise unbounded — the provider
+/// buys whatever it needs — but after a link degrades, what it can buy on
+/// that link is physically capped.  nullptr reproduces the unbounded model
+/// exactly.
 SpmModel build_rl_spm(const SpmInstance& instance,
                       const std::vector<bool>& accepted = {},
-                      const LoadMatrix* pinned = nullptr);
+                      const LoadMatrix* pinned = nullptr,
+                      const std::vector<int>* purchase_cap = nullptr);
 
 /// Extension knobs for BL-SPM (beyond the paper, see DESIGN.md):
 struct BlSpmOptions {

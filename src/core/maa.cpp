@@ -72,7 +72,8 @@ MaaResult run_maa(const SpmInstance& instance, const std::vector<bool>& accepted
   const LoadMatrix* pinned = inc != nullptr ? inc->committed_loads : nullptr;
 
   MaaResult result;
-  const SpmModel model = build_rl_spm(instance, accepted, pinned);
+  const SpmModel model =
+      build_rl_spm(instance, accepted, pinned, options.edge_capacity);
   lp::Basis* warm = options.warm_basis;
   if (warm != nullptr && warm->empty() && inc != nullptr &&
       inc->lift_from != nullptr && !inc->lift_from->empty()) {

@@ -53,6 +53,13 @@ struct MaaOptions {
   /// own optimal basis into `incremental->snapshot_out`.  Null (the
   /// default): plain offline solve, bit-identical to the historical path.
   const IncrementalContext* incremental = nullptr;
+  /// Fault repair: per-edge purchase ceiling on the relaxation's c_e
+  /// columns (entry < 0 = uncapacitated; see build_rl_spm).  The rounded
+  /// plan can still overshoot a cap — randomized rounding only respects
+  /// the relaxation in expectation — so callers that need a hard guarantee
+  /// must shed after the fact (sim/faults.h does).  nullptr (the default)
+  /// keeps every column unbounded, bit-identical to the historical model.
+  const std::vector<int>* edge_capacity = nullptr;
 };
 
 struct MaaResult {

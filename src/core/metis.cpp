@@ -232,6 +232,10 @@ MetisResult run_metis_impl(const SpmInstance& instance, Rng& rng,
   if (C > K) {
     throw std::invalid_argument("Metis: more commitments than requests");
   }
+  if (options.edge_capacity != nullptr &&
+      static_cast<int>(options.edge_capacity->size()) != instance.num_edges()) {
+    throw std::invalid_argument("Metis: edge_capacity size mismatch");
+  }
 
   // Pinned commitments: the first C requests in their final decision.
   Schedule pin = Schedule::all_declined(K);
@@ -305,6 +309,7 @@ MetisResult run_metis_impl(const SpmInstance& instance, Rng& rng,
   // snapshots the last optimal one for the next batch.
   lp::Basis maa_basis, taa_basis;
   MaaOptions maa_options = options.maa;
+  maa_options.edge_capacity = options.edge_capacity;
   TaaOptions taa_options = options.taa;
   if (options.warm_start) {
     maa_options.warm_basis = &maa_basis;
@@ -343,6 +348,19 @@ MetisResult run_metis_impl(const SpmInstance& instance, Rng& rng,
     // BW Limiter: trim the least-utilized link (rule tau), never below the
     // pinned floor.
     ChargingPlan limited = maa.plan;
+    if (options.edge_capacity != nullptr) {
+      // Fault repair: the rounded MAA plan may overshoot a shrunk link's
+      // physical capacity; the BL-SPM pass must not offer bandwidth that no
+      // longer exists.  Keep the pinned floor even when a fault pushed the
+      // cap below it — the TAA fits() guard then simply admits nothing new
+      // there, and the overload is the repair shed loop's to resolve.
+      for (net::EdgeId e = 0; e < instance.num_edges(); ++e) {
+        const int cap = (*options.edge_capacity)[e];
+        if (cap >= 0 && limited.units[e] > cap) {
+          limited.units[e] = std::max(cap, floor_units[e]);
+        }
+      }
+    }
     iter.trimmed_edge = trim_min_utilization_link(
         instance, maa.schedule, limited, options.trim_units, &floor_units);
     if (iter.trimmed_edge < 0) {

@@ -64,6 +64,12 @@ struct MetisOptions {
   /// silently cold-start otherwise.  Off reproduces all-cold solves (the
   /// ablation baseline measured by bench_lp_solver).
   bool warm_start = true;
+  /// Fault repair (sim/faults.h): per-edge hard capacity (size num_edges;
+  /// entry < 0 = uncapacitated).  Caps the RL-SPM purchase columns and
+  /// clamps the plan handed to the BL-SPM pass, steering the whole loop
+  /// away from links a fault shrank or killed.  nullptr (the default) is
+  /// the historical uncapacitated loop, byte for byte.
+  const std::vector<int>* edge_capacity = nullptr;
 };
 
 /// One loop's bookkeeping (for convergence plots and the theta ablation).

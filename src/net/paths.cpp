@@ -77,6 +77,7 @@ std::optional<Path> shortest_path(const Topology& topo, NodeId src, NodeId dst,
     for (EdgeId e : topo.out_edges(node)) {
       if (forbidden_edges && (*forbidden_edges)[e]) continue;
       const Edge& edge = topo.edge(e);
+      if (!edge.enabled) continue;  // failed link (fault injection)
       if (!node_ok(edge.dst)) continue;
       const double nd = d + edge_weight(topo, e, metric);
       if (nd < dist[edge.dst]) {
@@ -165,6 +166,7 @@ void dfs_paths(const Topology& topo, NodeId at, NodeId dst, int max_hops,
   }
   if (static_cast<int>(current.edges.size()) >= max_hops) return;
   for (EdgeId e : topo.out_edges(at)) {
+    if (!topo.edge(e).enabled) continue;
     const NodeId next = topo.edge(e).dst;
     if (visited[next]) continue;
     visited[next] = true;
@@ -192,6 +194,17 @@ std::vector<Path> all_simple_paths(const Topology& topo, NodeId src, NodeId dst,
 
 const std::vector<Path>& PathCache::paths(NodeId src, NodeId dst, int k,
                                           PathMetric metric) {
+  // Entries are only valid for the topology epoch they were computed under;
+  // any mutation (link failure, capacity override, price change) bumps the
+  // epoch and flushes the whole cache instead of silently serving paths
+  // over edges that may no longer exist.
+  if (topo_->epoch() != epoch_) {
+    stale_ += cache_.size();
+    telemetry::count("net.path_cache_stale",
+                     static_cast<std::int64_t>(cache_.size()));
+    cache_.clear();
+    epoch_ = topo_->epoch();
+  }
   const auto key = std::make_tuple(src, dst, k, static_cast<int>(metric));
   const auto it = cache_.find(key);
   if (it != cache_.end()) {

@@ -55,30 +55,41 @@ std::vector<Path> k_shortest_paths(const Topology& topo, NodeId src, NodeId dst,
 std::vector<Path> all_simple_paths(const Topology& topo, NodeId src, NodeId dst,
                                    int max_hops);
 
-/// Memoizing front-end for k_shortest_paths, keyed by (src, dst, k, metric).
-/// The online admission pipeline rebuilds an SpmInstance per batch over one
-/// fixed topology, re-running Yen for the same DC pairs every time; routing
-/// this through a cache makes recurring pairs a lookup.  The cache holds a
-/// reference to the topology it was built for and must not outlive it; it
-/// may serve any topology *copy* with identical edges (candidate paths are
-/// edge-id lists).  Not thread-safe — one cache per simulation thread.
+/// Memoizing front-end for k_shortest_paths, keyed by (src, dst, k, metric)
+/// *and the topology's mutation epoch*.  The online admission pipeline
+/// rebuilds an SpmInstance per batch over one topology, re-running Yen for
+/// the same DC pairs every time; routing this through a cache makes
+/// recurring pairs a lookup.  When the referenced topology mutates (fault
+/// injection disables a link, overrides a capacity, shocks a price) its
+/// epoch advances and the next lookup flushes every entry — stale paths are
+/// invalidated, never served.  The cache holds a reference to the topology
+/// it was built for and must not outlive it; it may serve any topology
+/// *copy* with identical edges and epoch (candidate paths are edge-id
+/// lists).  Not thread-safe — one cache per simulation thread.
 class PathCache {
  public:
-  explicit PathCache(const Topology& topo) : topo_(&topo) {}
+  explicit PathCache(const Topology& topo)
+      : topo_(&topo), epoch_(topo.epoch()) {}
 
   /// Cached k_shortest_paths(topo, src, dst, k, metric).  The reference is
-  /// stable until the cache is destroyed (std::map nodes do not move).
+  /// stable until the cache is destroyed or the topology mutates (std::map
+  /// nodes do not move, but an epoch change flushes them).
   const std::vector<Path>& paths(NodeId src, NodeId dst, int k,
                                  PathMetric metric = PathMetric::Price);
 
   std::size_t hits() const { return hits_; }     ///< lookups served cached
   std::size_t misses() const { return misses_; }  ///< lookups that ran Yen
+  /// Entries flushed because the topology epoch moved underneath them
+  /// (also exported as the "net.path_cache_stale" telemetry counter).
+  std::size_t stale() const { return stale_; }
 
  private:
   const Topology* topo_;
+  std::uint64_t epoch_;
   std::map<std::tuple<NodeId, NodeId, int, int>, std::vector<Path>> cache_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  std::size_t stale_ = 0;
 };
 
 }  // namespace metis::net

@@ -5,7 +5,8 @@
 
 namespace metis::net {
 
-Topology::Topology(int num_nodes) : num_nodes_(num_nodes), out_(num_nodes) {
+Topology::Topology(int num_nodes)
+    : num_nodes_(num_nodes), out_(num_nodes), node_enabled_(num_nodes, true) {
   if (num_nodes <= 0) {
     throw std::invalid_argument("Topology: need at least one node");
   }
@@ -24,6 +25,7 @@ EdgeId Topology::add_edge(NodeId src, NodeId dst, double price, int capacity_uni
   edges_.push_back(Edge{src, dst, price, capacity_units});
   const EdgeId id = static_cast<EdgeId>(edges_.size()) - 1;
   out_[src].push_back(id);
+  ++epoch_;
   return id;
 }
 
@@ -44,20 +46,56 @@ EdgeId Topology::find_edge(NodeId src, NodeId dst) const {
 void Topology::set_price(EdgeId e, double price) {
   if (price < 0) throw std::invalid_argument("set_price: negative price");
   edges_.at(e).price = price;
+  ++epoch_;
 }
 
 void Topology::set_capacity(EdgeId e, int units) {
   if (units < 0) throw std::invalid_argument("set_capacity: negative capacity");
   edges_.at(e).capacity_units = units;
+  ++epoch_;
 }
 
 void Topology::set_uniform_capacity(int units) {
   for (EdgeId e = 0; e < num_edges(); ++e) set_capacity(e, units);
 }
 
+void Topology::disable_edge(EdgeId e) {
+  Edge& edge = edges_.at(e);
+  if (!edge.enabled) return;
+  edge.enabled = false;
+  ++epoch_;
+}
+
+void Topology::enable_edge(EdgeId e) {
+  Edge& edge = edges_.at(e);
+  if (edge.enabled) return;
+  edge.enabled = true;
+  ++epoch_;
+}
+
+int Topology::disable_node(NodeId node) {
+  if (!valid_node(node)) {
+    throw std::invalid_argument("disable_node: node id out of range");
+  }
+  int disabled = 0;
+  for (EdgeId e = 0; e < num_edges(); ++e) {
+    const Edge& edge = edges_[e];
+    if ((edge.src == node || edge.dst == node) && edge.enabled) {
+      disable_edge(e);
+      ++disabled;
+    }
+  }
+  if (node_enabled_[node]) {
+    node_enabled_[node] = false;
+    ++epoch_;
+  }
+  return disabled;
+}
+
 int Topology::min_positive_capacity() const {
   int best = 0;
   for (const Edge& e : edges_) {
+    if (!e.enabled) continue;
     if (e.capacity_units > 0 && (best == 0 || e.capacity_units < best)) {
       best = e.capacity_units;
     }

@@ -6,6 +6,7 @@
 // provider buys as much as it needs).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,10 @@ struct Edge {
   /// Capacity in integer bandwidth units; 0 means "uncapacitated" (the
   /// provider may purchase any amount).
   int capacity_units = 0;
+  /// False once the link has failed (fault injection, sim/faults.h).  Path
+  /// search never routes over a disabled edge; existing reservations on it
+  /// are the repair machinery's problem, not the topology's.
+  bool enabled = true;
 };
 
 class Topology {
@@ -56,8 +61,33 @@ class Topology {
   /// Sets every edge's capacity to `units` (the Fig. 4c/4d uniform setup).
   void set_uniform_capacity(int units);
 
-  /// Minimum strictly positive capacity across edges (the constant `c` in
-  /// the paper's inequality (6)); returns 0 if every capacity is zero.
+  /// Mutation epoch: starts at 0 and increments on every change that can
+  /// alter path computation or charging — add_edge/add_link, set_price,
+  /// set_capacity/override_capacity, disable/enable of edges or nodes.
+  /// net::PathCache keys its entries on this counter so a mutated topology
+  /// is never served stale candidate paths.
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Takes a failed link out of service: path search skips it from now on.
+  /// Idempotent (disabling a dead edge is a no-op and does not bump the
+  /// epoch).
+  void disable_edge(EdgeId e);
+  /// Returns a disabled edge to service (test/maintenance helper).
+  void enable_edge(EdgeId e);
+  /// Datacenter outage: disables every edge into or out of `node` and marks
+  /// the node itself down.  Returns the number of edges newly disabled.
+  int disable_node(NodeId node);
+  /// Overrides an edge's capacity (fault-injection alias of set_capacity
+  /// with the additional permission to *shrink below committed load* — the
+  /// caller owns shedding).  `units` must be >= 0; 0 = uncapacitated.
+  void override_capacity(EdgeId e, int units) { set_capacity(e, units); }
+
+  bool edge_enabled(EdgeId e) const { return edges_.at(e).enabled; }
+  bool node_enabled(NodeId node) const { return node_enabled_.at(node); }
+
+  /// Minimum strictly positive capacity across *enabled* edges (the
+  /// constant `c` in the paper's inequality (6)); returns 0 if every
+  /// capacity is zero.
   int min_positive_capacity() const;
 
   /// True if `node` is a valid node id.
@@ -67,6 +97,8 @@ class Topology {
   int num_nodes_;
   std::vector<Edge> edges_;
   std::vector<std::vector<EdgeId>> out_;
+  std::vector<bool> node_enabled_;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace metis::net

@@ -38,7 +38,26 @@ Topology read_topology(std::istream& in) {
       double price = 0;
       int capacity = 0;
       if (!(ss >> a >> b >> price)) fail(line_no, "expected: src dst price");
-      ss >> capacity;  // optional
+      // Optional capacity: if a fourth token is present it must be a whole
+      // non-negative integer, and nothing may follow it.  A bare `ss >>
+      // capacity` would silently swallow garbage ("junk" -> 0) and ignore
+      // trailing fields, so a malformed line parsed as an uncapacitated
+      // edge instead of failing.
+      std::string token;
+      if (ss >> token) {
+        try {
+          std::size_t pos = 0;
+          capacity = std::stoi(token, &pos);
+          if (pos != token.size()) fail(line_no, "bad capacity: " + token);
+        } catch (const std::runtime_error&) {
+          throw;
+        } catch (const std::exception&) {
+          fail(line_no, "bad capacity: " + token);
+        }
+        if (capacity < 0) fail(line_no, "negative capacity: " + token);
+        std::string extra;
+        if (ss >> extra) fail(line_no, "trailing token: " + extra);
+      }
       try {
         if (keyword == "edge") {
           topo->add_edge(a, b, price, capacity);

@@ -1,11 +1,22 @@
 #include "sim/online.h"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
 #include "util/telemetry.h"
 
 namespace metis::sim {
+namespace {
+
+// Rng::split stream ids of the fault replay's extra draw sequences,
+// disjoint from the per-batch decide streams (small indices) and the fault
+// event stream (FaultConfig::stream).
+constexpr std::uint64_t kRepairStream = 0x0fa2;
+constexpr std::uint64_t kSurgeStream = 0x0fa3;
+
+}  // namespace
 
 OnlineAdmissionSimulator::OnlineAdmissionSimulator(OnlineConfig config)
     : config_(std::move(config)) {
@@ -17,6 +28,9 @@ OnlineAdmissionSimulator::OnlineAdmissionSimulator(OnlineConfig config)
   }
   if (config_.arrivals_per_slot < 0) {
     throw std::invalid_argument("OnlineConfig: arrivals_per_slot must be >= 0");
+  }
+  if (config_.refund_factor < 0) {
+    throw std::invalid_argument("OnlineConfig: refund_factor must be >= 0");
   }
 }
 
@@ -47,6 +61,9 @@ core::MetisResult OnlineAdmissionSimulator::offline_oracle() const {
 }
 
 OnlineResult OnlineAdmissionSimulator::run() const {
+  // Fault-free replay stays byte-identical to the pre-fault-layer code: the
+  // fault path is a separate function entered only on a positive rate.
+  if (config_.faults.rate > 0) return run_with_faults();
   METIS_SPAN("online.run");
   const net::Topology topo = make_network(config_.base);
   const std::vector<workload::Arrival> stream = arrivals();
@@ -130,6 +147,143 @@ OnlineResult OnlineAdmissionSimulator::run() const {
 
   result.path_cache_hits = cache.hits();
   result.path_cache_misses = cache.misses();
+  result.net_profit = result.profit.profit;  // no faults, nothing refunded
+  return result;
+}
+
+OnlineResult OnlineAdmissionSimulator::run_with_faults() const {
+  METIS_SPAN("online.run");
+  const net::Topology topo = make_network(config_.base);
+  const std::vector<workload::Arrival> stream = arrivals();
+  const int num_slots = config_.base.instance.num_slots;
+  const std::vector<FaultEvent> events = generate_fault_events(
+      config_.faults, topo, num_slots, Rng(config_.base.seed));
+
+  // Surge arrivals are sampled from the healthy topology's generator (the
+  // same endpoint-pair universe as the base stream); requests whose
+  // endpoints a fault later killed are auto-declined by the book.
+  workload::GeneratorConfig wconfig = config_.base.workload;
+  wconfig.num_slots = num_slots;
+  const workload::RequestGenerator generator(topo, wconfig);
+
+  RepairConfig repair;
+  repair.policy = config_.repair_policy;
+  repair.refund_factor = config_.refund_factor;
+  repair.max_shed_rounds = config_.max_shed_rounds;
+  repair.metis = config_.metis;
+  CommittedBook book(topo, config_.base.instance, repair);
+
+  OnlineResult result;
+  result.fault_events = events;
+  result.total_arrivals = static_cast<int>(stream.size());
+
+  const auto flush = [&](double flush_time) {
+    METIS_SPAN("online.batch");
+    const int batch_index = static_cast<int>(result.batches.size());
+    BatchRecord rec;
+    rec.batch = batch_index;
+    rec.arrivals = book.pending_count();
+    rec.flush_time = flush_time;
+    const int accepted_before = book.accepted_count();
+
+    const telemetry::Stopwatch decide_timer;
+    // Same per-batch stream ids as the fault-free replay.
+    Rng rng =
+        Rng(config_.base.seed).split(static_cast<std::uint64_t>(batch_index));
+    const core::MetisResult decided = book.decide_pending(rng);
+    rec.decide_ms = decide_timer.ms();
+    telemetry::observe("online.decide_ms", rec.decide_ms);
+
+    // Net change: a repair shed inside the decide can make this negative.
+    rec.accepted = book.accepted_count() - accepted_before;
+    rec.profit = book.net_profit();
+    rec.lp_stats = decided.lp_stats;
+    telemetry::count("online.batches");
+    telemetry::gauge_set("online.profit", rec.profit);
+    result.batches.push_back(std::move(rec));
+  };
+
+  // Merged replay: both arrivals and fault events advance the clock, and a
+  // deadline flush fires before whichever event reveals the deadline has
+  // passed (as in the fault-free replay, the clock only moves on events).
+  double oldest_queued = 0;
+  const auto deadline_flush_before = [&](double time) {
+    if (book.pending_count() > 0 && config_.max_batch_delay > 0 &&
+        time > oldest_queued + config_.max_batch_delay) {
+      flush(oldest_queued + config_.max_batch_delay);
+    }
+  };
+  std::size_t next_event = 0;
+  int repair_index = 0;
+  int surge_index = 0;
+  const auto fire = [&](const FaultEvent& event) {
+    if (event.kind == FaultKind::DemandSurge) {
+      Rng surge_rng = Rng(config_.base.seed)
+                          .split(kSurgeStream)
+                          .split(static_cast<std::uint64_t>(surge_index++));
+      book.inject(event, surge_rng);  // stats only; no topology change
+      if (event.surge_arrivals <= 0) return;
+      const int slot =
+          std::min(static_cast<int>(std::floor(event.time)), num_slots - 1);
+      const std::vector<workload::Request> extra =
+          generator.generate_at(slot, event.surge_arrivals, surge_rng);
+      if (book.pending_count() == 0) oldest_queued = event.time;
+      for (const workload::Request& r : extra) book.add_pending(r);
+      result.total_arrivals += static_cast<int>(extra.size());
+      if (book.pending_count() >= config_.batch_size) flush(event.time);
+      return;
+    }
+    // One repair stream index per network event whether or not a repair
+    // decide runs — index-addressed, so later draws never shift.
+    Rng repair_rng = Rng(config_.base.seed)
+                         .split(kRepairStream)
+                         .split(static_cast<std::uint64_t>(repair_index++));
+    book.inject(event, repair_rng);
+  };
+  const auto advance_to = [&](double time) {
+    while (next_event < events.size() && events[next_event].time <= time) {
+      deadline_flush_before(events[next_event].time);
+      fire(events[next_event]);
+      ++next_event;
+    }
+    deadline_flush_before(time);
+  };
+
+  for (const workload::Arrival& a : stream) {
+    advance_to(a.arrival_time);
+    if (book.pending_count() == 0) oldest_queued = a.arrival_time;
+    book.add_pending(a.request);
+    if (book.pending_count() >= config_.batch_size) flush(a.arrival_time);
+  }
+  advance_to(static_cast<double>(num_slots));
+  if (book.pending_count() > 0) flush(static_cast<double>(num_slots));
+
+  // The survivability contract: the final book must be feasible on the
+  // mutated network — reservations only on live edges, purchases within
+  // shrunken capacities, schedule covered by the plan.
+  const std::vector<std::string> violations = book.validate();
+  if (!violations.empty()) {
+    throw std::runtime_error("online fault replay: repaired book invalid: " +
+                             violations.front());
+  }
+
+  result.total_accepted = book.accepted_count();
+  result.fault_book = book.requests();
+  result.fault_paths = book.reserved_paths();
+  result.schedule = core::Schedule::all_declined(book.size());
+  for (std::size_t i = 0; i < result.fault_paths.size(); ++i) {
+    if (!result.fault_paths[i].empty()) result.schedule.path_choice[i] = 0;
+  }
+  result.plan = book.plan();
+  result.profit = book.evaluate();
+  result.refunds = book.refunds();
+  result.net_profit = book.net_profit();
+  result.fault_stats = book.stats();
+  result.lp_stats = book.lp_stats();
+  result.path_cache_hits = book.path_cache_hits();
+  result.path_cache_misses = book.path_cache_misses();
+  result.path_cache_stale = book.path_cache_stale();
+  telemetry::gauge_set("online.profit", result.net_profit);
   return result;
 }
 

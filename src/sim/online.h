@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/metis.h"
+#include "sim/faults.h"
 #include "sim/scenario.h"
 #include "workload/generator.h"
 
@@ -54,6 +55,18 @@ struct OnlineConfig {
   /// Share one net::PathCache across batch instances (identical paths,
   /// fewer Yen runs).
   bool reuse_path_cache = true;
+  /// Fault injection (sim/faults.h).  faults.rate == 0 — the default —
+  /// disables injection entirely: run() then executes the historical
+  /// fault-free replay, byte-identical to builds without the fault layer.
+  /// With a positive rate the replay interleaves the seeded fault stream
+  /// with the arrival stream and repairs through a CommittedBook.
+  FaultConfig faults;
+  /// Victim disposition of the fault replay (drop vs reroute).
+  RepairPolicy repair_policy = RepairPolicy::Reroute;
+  /// Refund paid per revoked commitment, as a fraction of its bid.
+  double refund_factor = 1.0;
+  /// Backoff bound of the infeasible-repair shed loop.
+  int max_shed_rounds = 4;
 };
 
 /// One batch re-decide, in flush order.
@@ -72,7 +85,11 @@ struct OnlineResult {
   int total_arrivals = 0;
   int total_accepted = 0;
   /// Final committed decision over the whole stream (arrival order) and
-  /// its evaluation — comparable to a MetisResult on the same book.
+  /// its evaluation — comparable to a MetisResult on the same book.  In
+  /// fault mode candidate-path indices are not meaningful (the topology
+  /// mutated mid-cycle): path_choice[i] is 0 for an accepted request —
+  /// whose concrete reserved path is fault_paths[i] — and kDeclined
+  /// otherwise.
   core::Schedule schedule;
   core::ChargingPlan plan;
   core::ProfitBreakdown profit;
@@ -80,6 +97,21 @@ struct OnlineResult {
   lp::SolveStats lp_stats;
   std::size_t path_cache_hits = 0;
   std::size_t path_cache_misses = 0;
+  /// Entries flushed by topology mutations (fault mode only).
+  std::size_t path_cache_stale = 0;
+  // --- fault mode extras (empty / zero in fault-free runs) --------------
+  /// The injected fault stream, in replay order.
+  std::vector<FaultEvent> fault_events;
+  FaultStats fault_stats;
+  /// SLA refunds paid for revoked commitments.
+  double refunds = 0;
+  /// profit.profit − refunds: what the provider banks.  Equals
+  /// profit.profit in fault-free runs.
+  double net_profit = 0;
+  /// Every request of the stream (arrivals + surge extras, decision order)
+  /// and the reserved path of each accepted one (empty = declined).
+  std::vector<workload::Request> fault_book;
+  std::vector<net::Path> fault_paths;
 };
 
 class OnlineAdmissionSimulator {
@@ -89,7 +121,11 @@ class OnlineAdmissionSimulator {
   /// Replays the cycle: deterministic in config (thread-count independent —
   /// everything runs on the caller's thread except Metis's own
   /// deterministic rounding pool).  Emits telemetry spans ("online.batch")
-  /// and the "online.decide_ms" histogram per batch.
+  /// and the "online.decide_ms" histogram per batch.  With
+  /// config.faults.rate > 0 the seeded fault stream is interleaved with the
+  /// arrivals: faults mutate the topology, victims are repaired per the
+  /// repair policy, surges add extra arrivals, and the final book is
+  /// validated against the mutated network (throws on any violation).
   OnlineResult run() const;
 
   /// The full arrival stream the replay will see (deterministic in
@@ -105,6 +141,8 @@ class OnlineAdmissionSimulator {
 
  private:
   double arrival_rate() const;
+  /// The fault-mode replay (run() dispatches here when faults.rate > 0).
+  OnlineResult run_with_faults() const;
 
   OnlineConfig config_;
 };

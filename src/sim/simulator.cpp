@@ -35,6 +35,63 @@ core::SpmInstance BillingCycleSimulator::cycle_instance(int cycle) const {
   return make_instance(scenario);
 }
 
+void BillingCycleSimulator::replay_faults(const core::SpmInstance& instance,
+                                          const Decision& decision, int cycle,
+                                          Rng& rng, CycleOutcome& co) const {
+  METIS_SPAN("cycle_faults");
+  const int num_slots = instance.num_slots();
+  // The stream is seeded by the cycle alone (same expression as the cycle's
+  // scenario seed), never by the policy index: every policy of a cycle
+  // faces the identical fault sequence.
+  const std::vector<FaultEvent> events = generate_fault_events(
+      config_.faults, instance.topology(), num_slots,
+      Rng(config_.base.seed + static_cast<std::uint64_t>(cycle) * 7919));
+  if (events.empty()) return;
+
+  RepairConfig repair;
+  repair.policy = config_.repair_policy;
+  repair.refund_factor = config_.refund_factor;
+  repair.max_shed_rounds = config_.max_shed_rounds;
+  CommittedBook book(instance.topology(), instance.config(), repair);
+  book.adopt(instance, decision.schedule);
+
+  // Surge arrivals come from the healthy topology's generator (same
+  // endpoint universe as the cycle's book); the book auto-declines any
+  // the mutated WAN cannot connect.
+  workload::GeneratorConfig wconfig = config_.base.workload;
+  wconfig.num_slots = num_slots;
+  const workload::RequestGenerator generator(instance.topology(), wconfig);
+
+  for (const FaultEvent& event : events) {
+    if (event.kind == FaultKind::DemandSurge) {
+      book.inject(event, rng);  // stats only; no topology change
+      if (event.surge_arrivals <= 0) continue;
+      const int slot =
+          std::min(static_cast<int>(std::floor(event.time)), num_slots - 1);
+      for (const workload::Request& r :
+           generator.generate_at(slot, event.surge_arrivals, rng)) {
+        book.add_pending(r);
+      }
+      co.offered_requests += event.surge_arrivals;
+      // The offline regime has no batching: a surge is decided on arrival.
+      book.decide_pending(rng);
+      continue;
+    }
+    book.inject(event, rng);
+  }
+
+  const auto violations = book.validate();
+  if (!violations.empty()) {
+    throw std::runtime_error("simulator: fault replay left an invalid book: " +
+                             violations.front());
+  }
+
+  co.result = book.evaluate();
+  co.refunds = book.refunds();
+  co.net_profit = book.net_profit();
+  co.fault_stats = book.stats();
+}
+
 std::vector<PolicyOutcome> BillingCycleSimulator::run(
     const std::vector<std::unique_ptr<Policy>>& policies) const {
   std::vector<PolicyOutcome> outcomes;
@@ -84,6 +141,10 @@ std::vector<PolicyOutcome> BillingCycleSimulator::run(
         co.result = core::evaluate_with_plan(instance, decision.schedule,
                                              decision.plan);
         co.decide_ms = decide_ms;
+        co.net_profit = co.result.profit;
+        if (config_.faults.rate > 0) {
+          replay_faults(instance, decision, cycle, rng, co);
+        }
         telemetry::observe("sim.decide_ms", co.decide_ms);
         telemetry::count("sim.cycle_cells");
         return co;
@@ -101,6 +162,8 @@ std::vector<PolicyOutcome> BillingCycleSimulator::run(
       outcome.total_cost += co.result.cost;
       outcome.total_accepted += co.result.accepted;
       outcome.total_offered += co.offered_requests;
+      outcome.total_refunds += co.refunds;
+      outcome.total_net_profit += co.net_profit;
       outcome.cycles.push_back(std::move(co));
     }
   }

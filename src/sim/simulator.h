@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "sim/faults.h"
 #include "sim/metrics.h"
 #include "sim/policy.h"
 #include "sim/scenario.h"
@@ -32,13 +33,32 @@ struct SimulationConfig {
   /// count — and identical to the historical serial run.  `decide_ms`
   /// readings naturally vary with machine load.
   int threads = 0;
+  /// Fault injection (sim/faults.h).  faults.rate == 0 — the default —
+  /// keeps the historical fault-free accounting, byte for byte.  With a
+  /// positive rate, each cycle's decision is adopted into a CommittedBook
+  /// and the cycle's seeded fault stream is replayed against it.  The
+  /// stream is seeded by the cycle alone, so every policy faces identical
+  /// faults — a fair degradation comparison.
+  FaultConfig faults;
+  RepairPolicy repair_policy = RepairPolicy::Reroute;
+  /// Refund paid per revoked commitment, as a fraction of its bid.
+  double refund_factor = 1.0;
+  /// Backoff bound of the infeasible-repair shed loop.
+  int max_shed_rounds = 4;
 };
 
 struct CycleOutcome {
   int cycle = 0;                  ///< 0-based cycle index
   int offered_requests = 0;       ///< size of the cycle's bid book
-  core::ProfitBreakdown result;   ///< the policy's decision, evaluated
+  /// The policy's decision, evaluated.  In fault mode: the *surviving*
+  /// book after the cycle's fault replay, at post-shock prices (gross —
+  /// refunds are separate).
+  core::ProfitBreakdown result;
   double decide_ms = 0;           ///< wall-clock of Policy::decide
+  // --- fault mode extras (zero in fault-free runs) ----------------------
+  double refunds = 0;             ///< SLA refunds paid this cycle
+  double net_profit = 0;          ///< result.profit − refunds
+  FaultStats fault_stats;         ///< the cycle's injection/repair counters
 };
 
 /// One policy's whole run: per-cycle outcomes plus their sums (money in the
@@ -46,11 +66,14 @@ struct CycleOutcome {
 struct PolicyOutcome {
   std::string policy;                ///< Policy::name()
   std::vector<CycleOutcome> cycles;  ///< in cycle order
-  double total_profit = 0;           ///< Σ cycle profit
+  double total_profit = 0;           ///< Σ cycle (gross) profit
   double total_revenue = 0;          ///< Σ cycle revenue
   double total_cost = 0;             ///< Σ cycle bandwidth cost
   int total_accepted = 0;            ///< Σ accepted requests
   int total_offered = 0;             ///< Σ offered requests
+  double total_refunds = 0;          ///< Σ cycle refunds (fault mode)
+  /// Σ cycle net profit — equals total_profit in fault-free runs.
+  double total_net_profit = 0;
 };
 
 class BillingCycleSimulator {
@@ -69,6 +92,13 @@ class BillingCycleSimulator {
   int cycle_requests(int cycle) const;
 
  private:
+  /// Adopts the cell's decision into a CommittedBook and replays the
+  /// cycle's fault stream against it, rewriting `co`'s result/refund
+  /// fields.  `rng` is the cell's RNG (repairs continue its sequence).
+  void replay_faults(const core::SpmInstance& instance,
+                     const Decision& decision, int cycle, Rng& rng,
+                     CycleOutcome& co) const;
+
   SimulationConfig config_;
 };
 

@@ -59,4 +59,31 @@ std::vector<std::string> check_plan_covers_schedule(
   return violations;
 }
 
+std::vector<std::string> check_plan_within_capacity(
+    const net::Topology& topology, const core::ChargingPlan& plan) {
+  std::vector<std::string> violations;
+  if (static_cast<int>(plan.units.size()) != topology.num_edges()) {
+    violations.push_back("plan size mismatch");
+    return violations;
+  }
+  for (net::EdgeId e = 0; e < topology.num_edges(); ++e) {
+    if (plan.units[e] <= 0) continue;
+    if (!topology.edge_enabled(e)) {
+      std::ostringstream os;
+      os << "edge " << e << ": purchased " << plan.units[e]
+         << " units on a disabled edge";
+      violations.push_back(os.str());
+      continue;
+    }
+    const int cap = topology.edge(e).capacity_units;
+    if (cap > 0 && plan.units[e] > cap) {
+      std::ostringstream os;
+      os << "edge " << e << ": purchased " << plan.units[e]
+         << " units above link capacity " << cap;
+      violations.push_back(os.str());
+    }
+  }
+  return violations;
+}
+
 }  // namespace metis::sim

@@ -25,4 +25,10 @@ std::vector<std::string> check_plan_covers_schedule(
     const core::SpmInstance& instance, const core::Schedule& schedule,
     const core::ChargingPlan& plan);
 
+/// Checks `plan` against the (possibly fault-mutated) topology: purchasing
+/// on a disabled edge, or above a finite link capacity, is a violation.
+/// Empty vector = the purchase physically fits the network.
+std::vector<std::string> check_plan_within_capacity(
+    const net::Topology& topology, const core::ChargingPlan& plan);
+
 }  // namespace metis::sim

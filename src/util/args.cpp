@@ -50,7 +50,12 @@ std::string ArgParser::get(const std::string& name, const std::string& default_v
 int ArgParser::get_int(const std::string& name, int default_value) {
   const std::string raw = get(name, std::to_string(default_value));
   try {
-    return std::stoi(raw);
+    // std::stoi alone stops at the first non-digit ("4x" -> 4), silently
+    // accepting a typo'd flag value; require the whole token to parse.
+    std::size_t pos = 0;
+    const int value = std::stoi(raw, &pos);
+    if (pos != raw.size()) throw std::invalid_argument("trailing characters");
+    return value;
   } catch (const std::exception&) {
     throw std::invalid_argument("flag --" + name + " expects an integer, got: " + raw);
   }
@@ -59,7 +64,10 @@ int ArgParser::get_int(const std::string& name, int default_value) {
 double ArgParser::get_double(const std::string& name, double default_value) {
   const std::string raw = get(name, std::to_string(default_value));
   try {
-    return std::stod(raw);
+    std::size_t pos = 0;
+    const double value = std::stod(raw, &pos);
+    if (pos != raw.size()) throw std::invalid_argument("trailing characters");
+    return value;
   } catch (const std::exception&) {
     throw std::invalid_argument("flag --" + name + " expects a number, got: " + raw);
   }

@@ -81,6 +81,18 @@ std::vector<Request> RequestGenerator::generate_poisson(double arrivals_per_slot
   return out;
 }
 
+std::vector<Request> RequestGenerator::generate_at(int start_slot, int count,
+                                                   Rng& rng) const {
+  if (start_slot < 0 || start_slot >= config_.num_slots) {
+    throw std::invalid_argument("generate_at: start_slot out of range");
+  }
+  if (count < 0) throw std::invalid_argument("generate_at: negative count");
+  std::vector<Request> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) out.push_back(sample_one(start_slot, rng));
+  return out;
+}
+
 std::vector<Arrival> RequestGenerator::generate_arrivals(double arrivals_per_slot,
                                                          Rng& rng) const {
   if (arrivals_per_slot < 0) {

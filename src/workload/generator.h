@@ -74,6 +74,12 @@ class RequestGenerator {
   std::vector<Arrival> generate_arrivals(double arrivals_per_slot,
                                          Rng& rng) const;
 
+  /// Exactly `count` requests all starting at `start_slot` — the shape of a
+  /// demand surge (fault injection, sim/faults.h): a burst of extra bids
+  /// hitting the admission queue at one point of the cycle.  End slots,
+  /// rates and values follow the usual model.
+  std::vector<Request> generate_at(int start_slot, int count, Rng& rng) const;
+
   const GeneratorConfig& config() const { return config_; }
 
  private:

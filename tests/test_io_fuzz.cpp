@@ -94,6 +94,37 @@ TEST_P(TopologyFuzz, MutatedValidInputNeverCrashes) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, TopologyFuzz, ::testing::Range(0, 8));
 
+// Regression: the optional capacity column was read with `ss >> int`, so
+// "edge 0 1 1.0 4x" parsed the prefix 4 and dropped the "x", "edge 0 1 1.0
+// -2" built a topology with negative capacity, and a fifth token was
+// ignored outright.  Strict parsing must reject all three.
+TEST(TopologyCapacityParsing, TrailingGarbageRejected) {
+  std::stringstream in("nodes 2\nedge 0 1 1.0 4x\n");
+  EXPECT_THROW(net::read_topology(in), std::runtime_error);
+}
+
+TEST(TopologyCapacityParsing, NonNumericRejected) {
+  std::stringstream in("nodes 2\nedge 0 1 1.0 lots\n");
+  EXPECT_THROW(net::read_topology(in), std::runtime_error);
+}
+
+TEST(TopologyCapacityParsing, NegativeRejected) {
+  std::stringstream in("nodes 2\nedge 0 1 1.0 -2\n");
+  EXPECT_THROW(net::read_topology(in), std::runtime_error);
+}
+
+TEST(TopologyCapacityParsing, ExtraTokenRejected) {
+  std::stringstream in("nodes 2\nedge 0 1 1.0 4 9\n");
+  EXPECT_THROW(net::read_topology(in), std::runtime_error);
+}
+
+TEST(TopologyCapacityParsing, ValidCapacityStillParses) {
+  std::stringstream in("nodes 2\nedge 0 1 1.0 4\nedge 1 0 1.0\n");
+  const net::Topology topo = net::read_topology(in);
+  EXPECT_EQ(topo.edge(0).capacity_units, 4);
+  EXPECT_EQ(topo.edge(1).capacity_units, 0);  // optional column absent
+}
+
 class WorkloadFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(WorkloadFuzz, GarbageNeverCrashes) {

@@ -126,6 +126,54 @@ TEST(Builder, BlSpmZeroCapacityForcesDecline) {
   EXPECT_NEAR(sol.objective, 0.0, 1e-6);
 }
 
+TEST(Builder, RlSpmPurchaseCapBoundsColumns) {
+  const SpmInstance instance = tiny_instance();
+  // Cap every edge at 1 unit: the c columns get hard upper bounds and the
+  // LP still routes everything (loads fit in one unit per edge).
+  const std::vector<int> caps(static_cast<std::size_t>(instance.num_edges()), 1);
+  const SpmModel model = build_rl_spm(instance, {}, nullptr, &caps);
+  const lp::LpSolution sol = lp::SimplexSolver().solve(model.problem);
+  ASSERT_TRUE(sol.ok());
+  for (net::EdgeId e = 0; e < instance.num_edges(); ++e) {
+    EXPECT_LE(sol.x[model.c_var[e]], 1.0 + 1e-9);
+  }
+  // Entry -1 = uncapacitated; wrong size throws.
+  const std::vector<int> open(static_cast<std::size_t>(instance.num_edges()),
+                              -1);
+  const SpmModel free_model = build_rl_spm(instance, {}, nullptr, &open);
+  const lp::LpSolution free_sol = lp::SimplexSolver().solve(free_model.problem);
+  ASSERT_TRUE(free_sol.ok());
+  // All-(-1) equals the unbounded model; binding caps can only raise cost
+  // (here they do: requests 1 and 2 overlap at 1.3 units, forcing the
+  // expensive detour).
+  const SpmModel unbounded = build_rl_spm(instance);
+  const lp::LpSolution unbounded_sol =
+      lp::SimplexSolver().solve(unbounded.problem);
+  ASSERT_TRUE(unbounded_sol.ok());
+  EXPECT_NEAR(free_sol.objective, unbounded_sol.objective, 1e-9);
+  EXPECT_GE(sol.objective, free_sol.objective - 1e-9);
+  const std::vector<int> short_caps(2, 1);
+  EXPECT_THROW(build_rl_spm(instance, {}, nullptr, &short_caps),
+               std::invalid_argument);
+}
+
+TEST(Builder, BlSpmPinnedAboveCapacityClampsToZero) {
+  // Regression for the fault path: a link degrade can shrink cap_e below
+  // the already-committed load.  The BL-SPM capacity row's RHS
+  // (cap − pinned) used to go negative, making the whole model infeasible;
+  // it must clamp to zero (free load barred from the edge, commitments
+  // honored elsewhere).
+  const SpmInstance instance = tiny_instance();
+  LoadMatrix pinned(instance.num_edges(), instance.num_slots());
+  pinned.add(0, 0, 3.0);  // committed load far above the cap below
+  ChargingPlan caps;
+  caps.units.assign(instance.num_edges(), 1);
+  const SpmModel model = build_bl_spm(instance, caps, {}, {}, &pinned);
+  const lp::LpSolution sol = lp::SimplexSolver().solve(model.problem);
+  // Feasible: the clamped row only forbids *new* load on the shrunk edge.
+  ASSERT_TRUE(sol.ok());
+}
+
 // ------------------------------------------------------ exact (B&B) ------
 
 TEST(Builder, SpmIlpFindsProfitablePlan) {

@@ -27,6 +27,80 @@ Topology diamond() {
 
 // ----------------------------------------------------------- Topology ----
 
+TEST(TopologyMutation, EpochAdvancesOnEveryChange) {
+  Topology topo = diamond();
+  const std::uint64_t built = topo.epoch();
+  topo.set_price(0, 3.0);
+  EXPECT_GT(topo.epoch(), built);
+  const std::uint64_t priced = topo.epoch();
+  topo.override_capacity(0, 5);
+  EXPECT_GT(topo.epoch(), priced);
+  const std::uint64_t capped = topo.epoch();
+  topo.disable_edge(0);
+  EXPECT_GT(topo.epoch(), capped);
+  // Idempotent: disabling a dead edge is not a mutation.
+  const std::uint64_t disabled = topo.epoch();
+  topo.disable_edge(0);
+  EXPECT_EQ(topo.epoch(), disabled);
+  topo.enable_edge(0);
+  EXPECT_GT(topo.epoch(), disabled);
+}
+
+TEST(TopologyMutation, DisableEdgeRemovesItFromRouting) {
+  Topology topo = diamond();
+  const auto direct = shortest_path(topo, 0, 3);
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_EQ(direct->hops(), 2u);  // 0->1->3 at price 2
+  topo.disable_edge(topo.find_edge(0, 1));
+  const auto detour = shortest_path(topo, 0, 3);
+  ASSERT_TRUE(detour.has_value());
+  for (EdgeId e : detour->edges) EXPECT_TRUE(topo.edge_enabled(e));
+  EXPECT_EQ(detour->edges.front(), topo.find_edge(0, 2));
+  // Yen and the DFS oracle skip it too.
+  for (const Path& p : k_shortest_paths(topo, 0, 3, 4)) {
+    for (EdgeId e : p.edges) EXPECT_TRUE(topo.edge_enabled(e));
+  }
+  for (const Path& p : all_simple_paths(topo, 0, 3, 4)) {
+    for (EdgeId e : p.edges) EXPECT_TRUE(topo.edge_enabled(e));
+  }
+}
+
+TEST(TopologyMutation, DisableNodeKillsIncidentEdges) {
+  Topology topo = diamond();
+  const int killed = topo.disable_node(1);
+  EXPECT_EQ(killed, 2);  // 0->1 and 1->3
+  EXPECT_FALSE(topo.node_enabled(1));
+  EXPECT_FALSE(topo.edge_enabled(topo.find_edge(0, 1)));
+  EXPECT_FALSE(topo.edge_enabled(topo.find_edge(1, 3)));
+  EXPECT_TRUE(topo.edge_enabled(topo.find_edge(0, 2)));
+  const auto p = shortest_path(topo, 0, 3);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->edges.front(), topo.find_edge(0, 2));
+  // Disabling a dead node reports zero newly killed edges.
+  EXPECT_EQ(topo.disable_node(1), 0);
+}
+
+TEST(PathCacheEpoch, MutationFlushesStaleEntries) {
+  Topology topo = diamond();
+  PathCache cache(topo);
+  const auto& before = cache.paths(0, 3, 3);
+  ASSERT_FALSE(before.empty());
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.paths(0, 3, 3);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.stale(), 0u);
+
+  // Kill the cheap route: the cached candidate set is now wrong, and the
+  // next lookup must flush it rather than serve a path over a dead edge.
+  topo.disable_edge(topo.find_edge(0, 1));
+  const auto& after = cache.paths(0, 3, 3);
+  EXPECT_EQ(cache.stale(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+  for (const Path& p : after) {
+    for (EdgeId e : p.edges) EXPECT_TRUE(topo.edge_enabled(e));
+  }
+}
+
 TEST(Topology, AddAndFindEdges) {
   Topology topo(3);
   const EdgeId e = topo.add_edge(0, 1, 2.5, 4);

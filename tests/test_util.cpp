@@ -397,6 +397,35 @@ TEST(Args, BadIntegerThrows) {
   EXPECT_THROW(args.get_int("count", 0), std::invalid_argument);
 }
 
+// Regression: std::stoi/stod parse a numeric *prefix*, so "--fault-rate
+// 0.5x" or "--cycles 3,4" used to silently truncate to 0.5 / 3 instead of
+// rejecting the typo.
+TEST(Args, TrailingGarbageIntRejected) {
+  const char* argv[] = {"prog", "--count", "3,4"};
+  ArgParser args(3, argv);
+  EXPECT_THROW(args.get_int("count", 0), std::invalid_argument);
+}
+
+TEST(Args, TrailingGarbageDoubleRejected) {
+  const char* argv[] = {"prog", "--rate", "0.5x"};
+  ArgParser args(3, argv);
+  EXPECT_THROW(args.get_double("rate", 0), std::invalid_argument);
+}
+
+TEST(Args, WhitespacePaddedNumberRejected) {
+  const char* argv[] = {"prog", "--count", "7 "};
+  ArgParser args(3, argv);
+  EXPECT_THROW(args.get_int("count", 0), std::invalid_argument);
+}
+
+TEST(Args, ExactNumbersStillParse) {
+  const char* argv[] = {"prog", "--count", "-3", "--rate", "2.5e-1"};
+  ArgParser args(5, argv);
+  EXPECT_EQ(args.get_int("count", 0), -3);
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0), 0.25);
+  args.finish();
+}
+
 TEST(Args, HelpFlagDetected) {
   const char* argv[] = {"prog", "--help"};
   ArgParser args(2, argv);
