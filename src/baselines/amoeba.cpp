@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/numeric.h"
+
 namespace metis::baselines {
 
 AmoebaResult run_amoeba(const core::SpmInstance& instance,
@@ -30,7 +32,9 @@ AmoebaResult run_amoeba(const core::SpmInstance& instance,
       bool fits = true;
       for (net::EdgeId e : instance.paths(i)[j].edges) {
         for (int t = r.start_slot; t <= r.end_slot && fits; ++t) {
-          if (loads.at(e, t) + r.rate > capacities.units[e] + 1e-9) fits = false;
+          if (loads.at(e, t) + r.rate > capacities.units[e] + num::kCeilGuard) {
+            fits = false;
+          }
         }
         if (!fits) break;
       }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "core/accounting.h"
+
 namespace metis::baselines {
 
 namespace {
@@ -19,8 +21,10 @@ double incremental_cost(const core::SpmInstance& instance,
     for (int t = r.start_slot; t <= r.end_slot; ++t) {
       peak_after = std::max(peak_after, loads.at(e, t) + r.rate);
     }
-    const double units_before = std::ceil(peak_before - 1e-9);
-    const double units_after = std::ceil(peak_after - 1e-9);
+    // Shared ceiling guard (core::charged_units) so this estimate matches the
+    // bill charged by charging_from_loads exactly.
+    const int units_before = core::charged_units(peak_before);
+    const int units_after = core::charged_units(peak_after);
     delta += instance.topology().edge(e).price * (units_after - units_before);
   }
   return delta;

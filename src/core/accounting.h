@@ -7,6 +7,7 @@
 
 #include "core/instance.h"
 #include "core/schedule.h"
+#include "util/numeric.h"
 #include "util/stats.h"
 
 namespace metis::core {
@@ -39,15 +40,16 @@ class LoadMatrix {
   std::vector<double> data_;
 };
 
-/// Integer charged units for a peak load: the paper's ceiling with a 1e-9
-/// backoff so a numerically-exact integer peak (1.0000000001 from float
-/// accumulation of exact-looking rates) is not overcharged by one unit.
-/// The single source of truth for this guard — the SP updater's saving/cost
-/// estimates (metis.cpp) and the billed plan (charging_from_loads) must
-/// agree bit-for-bit or the updater optimizes against a different bill than
-/// the one charged.
+/// Integer charged units for a peak load: the paper's ceiling with a
+/// num::kCeilGuard backoff so a numerically-exact integer peak (1 plus a
+/// few ulps from float accumulation of exact-looking rates) is not
+/// overcharged by one unit.  The single source of truth for this guard —
+/// the SP updater's saving/cost estimates (metis.cpp), the billed plan
+/// (charging_from_loads) and the EcoFlow baseline's incremental-cost
+/// estimate must agree bit-for-bit or one layer optimizes against a
+/// different bill than the one charged.
 inline int charged_units(double peak) {
-  return static_cast<int>(std::ceil(peak - 1e-9));
+  return static_cast<int>(std::ceil(peak - num::kCeilGuard));
 }
 
 /// Accumulates the per-edge/per-slot loads of a schedule.

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/numeric.h"
+
 namespace metis::core {
 
 double log_chernoff_b(double m, double delta) {
@@ -26,7 +28,7 @@ double chernoff_d(double m, double x) {
     hi *= 2;
     if (hi > 1e12) return hi;  // bound is astronomically weak; cap it
   }
-  for (int iter = 0; iter < 200 && hi - lo > 1e-12 * (1 + hi); ++iter) {
+  for (int iter = 0; iter < 200 && hi - lo > num::kBisectTol * (1 + hi); ++iter) {
     const double mid = (lo + hi) / 2;
     if (log_chernoff_b(m, mid) > target) {
       lo = mid;
@@ -47,8 +49,8 @@ double choose_mu(double c, int num_slots, int num_edges) {
   // f(mu) = c [ (1-mu) + log mu ] is strictly increasing on (0,1) with
   // f(1) = 0 > target and f(0+) = -inf, so the feasible set is (0, mu*).
   const auto f = [c](double mu) { return c * ((1 - mu) + std::log(mu)); };
-  constexpr double kMargin = 1e-9;  // keep the inequality strict
-  double lo = 1e-12, hi = 1.0 - 1e-12;
+  constexpr double kMargin = num::kImproveTol;  // keep the inequality strict
+  double lo = num::kBisectTol, hi = 1.0 - num::kBisectTol;
   if (f(lo) >= target - kMargin) return 0;  // even tiny mu fails
   for (int iter = 0; iter < 200; ++iter) {
     const double mid = (lo + hi) / 2;

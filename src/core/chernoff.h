@@ -20,7 +20,7 @@ double log_chernoff_b(double m, double delta);
 double chernoff_b(double m, double delta);
 
 /// D(m, x): the delta > 0 with B(m, delta) = x, for x in (0,1) and m > 0.
-/// Monotone bisection; returns an upper estimate within 1e-12 absolute.
+/// Monotone bisection; returns an upper estimate within num::kBisectTol.
 double chernoff_d(double m, double x);
 
 /// Largest mu in (0,1) with exp((1-mu)c) * mu^c < 1/(T(N+1)) (strictly),

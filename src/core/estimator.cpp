@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/numeric.h"
+
 namespace metis::core {
 
 namespace {
@@ -87,7 +89,7 @@ PessimisticEstimator::PessimisticEstimator(
     // Revenue term factor: sum_j mu x e^{-t0 v'} + 1 - sum_j mu x.
     const double v_norm = r.value / config_.v_max;
     const double f0 = p_total * std::exp(-config_.t0 * v_norm) + 1.0 - p_total;
-    log_factor_[0][i] = std::log(std::max(f0, 1e-300));
+    log_factor_[0][i] = std::log(std::max(f0, num::kTinyFloor));
     presence_[i].push_back(0);
     log_sum_[0] += log_factor_[0][i];
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/lp_builder.h"
+#include "util/numeric.h"
 #include "util/parallel.h"
 #include "util/telemetry.h"
 
@@ -98,7 +99,7 @@ MaaResult run_maa(const SpmInstance& instance, const std::vector<bool>& accepted
   }
   double alpha = 0;
   for (double c : result.fractional_c) {
-    if (c > 1e-9 && (alpha == 0 || c < alpha)) alpha = c;
+    if (c > num::kImproveTol && (alpha == 0 || c < alpha)) alpha = c;
   }
   result.alpha = alpha;
 

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "util/log.h"
+#include "util/numeric.h"
 #include "util/telemetry.h"
 
 namespace metis::core {
@@ -119,7 +120,7 @@ int prune_unprofitable(const SpmInstance& instance, Schedule& schedule,
     changed = false;
     // Find the accepted request with the most negative (value - saving).
     int worst = -1;
-    double worst_margin = -1e-9;
+    double worst_margin = -num::kImproveTol;
     for (int i = first_mutable; i < instance.num_requests(); ++i) {
       const int j = schedule.path_choice[i];
       if (j == kDeclined) continue;
@@ -197,7 +198,7 @@ int reroute_cheaper(const SpmInstance& instance, Schedule& schedule,
         const double candidate_cost = cost_of_edges(touched);
         apply(i, j, -1.0);
         apply(i, current, +1.0);
-        if (candidate_cost < best_cost - 1e-9) {
+        if (candidate_cost < best_cost - num::kImproveTol) {
           best_cost = candidate_cost;
           best = j;
         }

@@ -9,6 +9,7 @@
 #include "core/estimator.h"
 #include "core/lp_builder.h"
 #include "util/log.h"
+#include "util/numeric.h"
 #include "util/telemetry.h"
 
 namespace metis::core {
@@ -23,7 +24,9 @@ bool fits(const SpmInstance& instance, const ChargingPlan& capacities,
   for (net::EdgeId e : instance.paths(i)[j].edges) {
     const int cap = capacities.units[e];
     for (int t = r.start_slot; t <= r.end_slot; ++t) {
-      if (loads.at(e, t) + r.rate > cap + 1e-9) return false;
+      // kCeilGuard keeps this consistent with charged_units: a load the
+      // billing ceiling would not push over `cap` units also fits here.
+      if (loads.at(e, t) + r.rate > cap + num::kCeilGuard) return false;
     }
   }
   return true;
@@ -167,7 +170,7 @@ TaaResult run_taa(const SpmInstance& instance, const ChargingPlan& capacities,
       for (int j = 0; j < instance.num_paths(i); ++j) {
         if (!fits(instance, capacities, loads, i, j)) continue;  // hard guard
         const double u = estimator.candidate_value(i, j);
-        if (u < best_u - 1e-15) {
+        if (u < best_u - num::kTieTol) {
           best_u = u;
           best_choice = j;
         }

@@ -91,7 +91,7 @@ MipResult MipSolver::solve(const LinearProblem& problem,
   };
 
   const auto try_incumbent = [&](const std::vector<double>& x, double obj) {
-    if (obj < incumbent_obj - 1e-12) {
+    if (obj < incumbent_obj - num::kIncumbentTol) {
       incumbent_obj = obj;
       incumbent_x = x;
       // Snap near-integers exactly.
@@ -113,7 +113,7 @@ MipResult MipSolver::solve(const LinearProblem& problem,
         }
       }
     }
-    if (valid && work.is_feasible(*warm_start, 1e-6)) {
+    if (valid && work.is_feasible(*warm_start, options_.feas_tol)) {
       try_incumbent(*warm_start, work.objective_value(*warm_start));
     } else {
       METIS_LOG_WARN << "MIP warm start rejected (infeasible or fractional)";
@@ -157,7 +157,7 @@ MipResult MipSolver::solve(const LinearProblem& problem,
       }
       rounded[col] = v;
     }
-    if (integral && work.is_feasible(rounded, 1e-7)) {
+    if (integral && work.is_feasible(rounded, options_.feas_tol)) {
       try_incumbent(rounded, work.objective_value(rounded));
     }
   }
@@ -232,7 +232,8 @@ MipResult MipSolver::solve(const LinearProblem& problem,
       METIS_LOG_WARN << "MIP node LP ended with status " << to_string(sol.status);
       continue;
     }
-    if (incumbent_obj < kInfinity && sol.objective >= incumbent_obj - 1e-12) {
+    if (incumbent_obj < kInfinity &&
+        sol.objective >= incumbent_obj - num::kIncumbentTol) {
       continue;  // dominated
     }
     const int branch_col = fractional_col(sol.x);

@@ -21,13 +21,19 @@
 #include "lp/problem.h"
 #include "lp/simplex.h"
 #include "lp/types.h"
+#include "util/numeric.h"
 
 namespace metis::lp {
 
 struct MipOptions {
-  double integrality_tol = 1e-6;
+  double integrality_tol = num::kIntegralityTol;
   /// Stop when |incumbent - bound| / max(1,|incumbent|) <= gap_tol.
-  double gap_tol = 1e-6;
+  double gap_tol = num::kOptTol;
+  /// Feasibility tolerance for accepting candidate incumbents (the caller's
+  /// warm-start seed and the root rounding heuristic).  One knob for both:
+  /// the two checks used to disagree by an order of magnitude, so a point
+  /// could seed the incumbent from outside but not from the rounding path.
+  double feas_tol = num::kOptTol;
   long max_nodes = 200000;
   /// Wall-clock budget in seconds; <= 0 means unlimited.
   double time_limit_seconds = 0;

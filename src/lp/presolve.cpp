@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/numeric.h"
 #include "util/telemetry.h"
 
 namespace metis::lp {
@@ -132,8 +133,9 @@ LpSolution PresolveResult::postsolve(const LinearProblem& original,
   for (auto it = eliminated_singletons.rbegin();
        it != eliminated_singletons.rend(); ++it) {
     const int j = it->col;
-    const double atol = 1e-6 * (1.0 + std::abs(it->bound));
-    if (std::abs(out.x[j] - it->bound) > atol) continue;  // slack row: y = 0
+    if (!num::approx_eq(out.x[j], it->bound, it->bound, num::kOptTol)) {
+      continue;  // slack row: y = 0
+    }
     double d = sign * original.objective_coef(j);
     for (const auto& [r, a] : col_rows[j]) d -= y[r] * a;
     const double cand = d / it->coef;

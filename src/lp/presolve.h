@@ -21,6 +21,7 @@
 
 #include "lp/problem.h"
 #include "lp/types.h"
+#include "util/numeric.h"
 
 namespace metis::lp {
 
@@ -61,7 +62,8 @@ struct PresolveResult {
   /// primal/dual vectors.  The returned objective is recomputed from the
   /// restored x to wash out reduction round-off.
   LpSolution postsolve(const LinearProblem& original,
-                       const LpSolution& reduced_sol, double tol = 1e-7) const;
+                       const LpSolution& reduced_sol,
+                       double tol = num::kFeasTol) const;
 
   /// Lifts a basis snapshot of the reduced problem into `original`'s column
   /// space: surviving columns/slacks keep their status, eliminated columns
@@ -75,7 +77,10 @@ struct PresolveResult {
 };
 
 /// Applies the reductions.  `tol` is the feasibility tolerance for the
-/// verdict checks.
-PresolveResult presolve(const LinearProblem& problem, double tol = 1e-9);
+/// verdict checks and the bound-gap threshold below which a column counts
+/// as fixed (num::kPivotTol: tighter than the simplex feasibility tolerance
+/// so presolve never fixes what the solver could still move).
+PresolveResult presolve(const LinearProblem& problem,
+                        double tol = num::kPivotTol);
 
 }  // namespace metis::lp

@@ -85,15 +85,16 @@ bool LinearProblem::is_feasible(std::span<const double> x, double tol) const {
   }
   for (int r = 0; r < num_rows(); ++r) {
     const double activity = row_activity(r, x);
+    const double rhs = rows_[r].rhs;
     switch (rows_[r].type) {
       case RowType::LessEqual:
-        if (activity > rows_[r].rhs + tol) return false;
+        if (!num::approx_le(activity, rhs, rhs, tol)) return false;
         break;
       case RowType::GreaterEqual:
-        if (activity < rows_[r].rhs - tol) return false;
+        if (!num::approx_ge(activity, rhs, rhs, tol)) return false;
         break;
       case RowType::Equal:
-        if (std::abs(activity - rows_[r].rhs) > tol) return false;
+        if (!num::approx_eq(activity, rhs, rhs, tol)) return false;
         break;
     }
   }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "lp/types.h"
+#include "util/numeric.h"
 
 namespace metis::lp {
 
@@ -72,8 +73,10 @@ class LinearProblem {
   /// a_k^T x for row k.
   double row_activity(int r, std::span<const double> x) const;
 
-  /// True if x satisfies every row and bound within `tol`.
-  bool is_feasible(std::span<const double> x, double tol = 1e-6) const;
+  /// True if x satisfies every row and bound within `tol` (absolute on
+  /// bounds, relative to the rhs magnitude on rows — a checking tolerance,
+  /// deliberately coarser than the solver's working kFeasTol).
+  bool is_feasible(std::span<const double> x, double tol = num::kOptTol) const;
 
   /// Throws std::invalid_argument on structural problems (bad indices,
   /// lower > upper, NaN coefficients).  Solvers call this before solving.

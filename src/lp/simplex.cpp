@@ -9,6 +9,7 @@
 
 #include "lp/presolve.h"
 #include "util/log.h"
+#include "util/numeric.h"
 #include "util/telemetry.h"
 
 namespace metis::lp {
@@ -103,7 +104,7 @@ class BasisFactor {
           piv = r;
         }
       }
-      if (piv < 0 || best < kSingularTol) {
+      if (piv < 0 || best < num::kSingularTol) {
         for (int r : touched) {
           x[r] = 0.0;
           seen[r] = 0;
@@ -208,8 +209,6 @@ class BasisFactor {
   int eta_count() const { return static_cast<int>(etas_.size()); }
 
  private:
-  static constexpr double kSingularTol = 1e-12;
-
   struct LCol {  // elimination multipliers of one pivot, by original row
     std::vector<int> row;
     std::vector<double> mult;
@@ -367,8 +366,10 @@ class Engine {
     for (int k = 0; k < t_.m; ++k) {
       const int j = t_.basis[k];
       const double v = t_.value[j];
-      const double slop = kWarmAcceptTol * (1.0 + std::abs(v));
-      if (v < t_.lb[j] - slop || v > t_.ub[j] + slop) return false;
+      if (!num::approx_ge(v, t_.lb[j], v, num::kOptTol) ||
+          !num::approx_le(v, t_.ub[j], v, num::kOptTol)) {
+        return false;
+      }
     }
     return true;
   }
@@ -390,7 +391,12 @@ class Engine {
         }
         double infeas = 0;
         for (int a : t_.artificials) infeas += t_.value[a];
-        if (infeas > 1e-6) {
+        // Residual infeasibility is judged relative to the RHS magnitude:
+        // the same leftover that is round-off against b ~ 1e6 is a real
+        // violation against b ~ 1.
+        double bscale = 0;
+        for (double b : t_.b) bscale = std::max(bscale, std::abs(b));
+        if (!num::approx_le(infeas, 0.0, bscale, num::kOptTol)) {
           out.status = SolveStatus::Infeasible;
           finish_stats(out);
           return out;
@@ -444,8 +450,6 @@ class Engine {
   }
 
  private:
-  static constexpr double kWarmAcceptTol = 1e-6;
-
   /// Sets up the slack basis plus artificials for rows whose slack starts
   /// outside its bounds.
   void init_basis() {
@@ -565,11 +569,121 @@ class Engine {
     return iterate(c, phase1);
   }
 
+  /// Outcome of a ratio test: the step length, the blocking basis position
+  /// (-1 when no bound blocks), and which bound the leaving variable hits.
+  struct RatioChoice {
+    double t_max = kInfinity;
+    int leave_pos = -1;
+    bool leave_to_upper = false;
+  };
+
+  /// Textbook smallest-ratio rule with a tolerance band: candidates within
+  /// `tol` of the minimum tie-break to the smallest basis column index.
+  RatioChoice ratio_test_textbook(double sigma,
+                                  const std::vector<double>& w) const {
+    RatioChoice out;
+    for (int i = 0; i < t_.m; ++i) {
+      const double coef = sigma * w[i];
+      const int bj = t_.basis[i];
+      if (coef > opt_.pivot_tol) {
+        if (!std::isfinite(t_.lb[bj])) continue;
+        const double room = std::max(0.0, t_.value[bj] - t_.lb[bj]);
+        const double ratio = room / coef;
+        if (ratio < out.t_max - opt_.tol ||
+            (ratio < out.t_max + opt_.tol &&
+             (out.leave_pos < 0 || bj < t_.basis[out.leave_pos]))) {
+          out.t_max = std::min(out.t_max, ratio);
+          out.leave_pos = i;
+          out.leave_to_upper = false;
+        }
+      } else if (coef < -opt_.pivot_tol) {
+        if (!std::isfinite(t_.ub[bj])) continue;
+        const double room = std::max(0.0, t_.ub[bj] - t_.value[bj]);
+        const double ratio = room / (-coef);
+        if (ratio < out.t_max - opt_.tol ||
+            (ratio < out.t_max + opt_.tol &&
+             (out.leave_pos < 0 || bj < t_.basis[out.leave_pos]))) {
+          out.t_max = std::min(out.t_max, ratio);
+          out.leave_pos = i;
+          out.leave_to_upper = true;
+        }
+      }
+    }
+    return out;
+  }
+
+  /// Harris two-pass ratio test with bounded bound-perturbation.
+  ///
+  /// Pass 1 computes the relaxed step theta = min_i (room_i + delta_i) /
+  /// |coef_i| where delta_i = tol * max(1, |bound_i|) is each bound's
+  /// expansion budget.  Pass 2 picks, among the candidates whose TRUE ratio
+  /// fits under theta, the numerically largest pivot (deterministic ties to
+  /// the smallest basis column index).  The chosen step may push other
+  /// basic variables past their bounds, but never by more than their
+  /// budget, and refactorization recomputes values from the nonbasic rest
+  /// points so the drift does not compound.  Degenerate vertices — tied
+  /// zero ratios, exactly what duplicate-rate SPM requests produce — yield
+  /// a large stable pivot instead of a forced tiny one, which is what stops
+  /// the stalling/cycling the textbook rule is prone to.
+  RatioChoice ratio_test_harris(double sigma,
+                                const std::vector<double>& w) const {
+    RatioChoice out;
+    double theta = kInfinity;
+    for (int i = 0; i < t_.m; ++i) {
+      const double coef = sigma * w[i];
+      const int bj = t_.basis[i];
+      if (coef > opt_.pivot_tol) {
+        if (!std::isfinite(t_.lb[bj])) continue;
+        const double room = std::max(0.0, t_.value[bj] - t_.lb[bj]);
+        const double budget = opt_.tol * num::rel_scale(t_.lb[bj]);
+        theta = std::min(theta, (room + budget) / coef);
+      } else if (coef < -opt_.pivot_tol) {
+        if (!std::isfinite(t_.ub[bj])) continue;
+        const double room = std::max(0.0, t_.ub[bj] - t_.value[bj]);
+        const double budget = opt_.tol * num::rel_scale(t_.ub[bj]);
+        theta = std::min(theta, (room + budget) / (-coef));
+      }
+    }
+    if (!std::isfinite(theta)) return out;  // no blocking bound
+    double best_mag = 0;
+    for (int i = 0; i < t_.m; ++i) {
+      const double coef = sigma * w[i];
+      const int bj = t_.basis[i];
+      double ratio;
+      bool to_upper;
+      if (coef > opt_.pivot_tol && std::isfinite(t_.lb[bj])) {
+        ratio = std::max(0.0, t_.value[bj] - t_.lb[bj]) / coef;
+        to_upper = false;
+      } else if (coef < -opt_.pivot_tol && std::isfinite(t_.ub[bj])) {
+        ratio = std::max(0.0, t_.ub[bj] - t_.value[bj]) / (-coef);
+        to_upper = true;
+      } else {
+        continue;
+      }
+      if (ratio > theta) continue;
+      const double mag = std::abs(coef);
+      if (mag > best_mag ||
+          (mag == best_mag && out.leave_pos >= 0 &&
+           bj < t_.basis[out.leave_pos])) {
+        best_mag = mag;
+        out.t_max = ratio;
+        out.leave_pos = i;
+        out.leave_to_upper = to_upper;
+      }
+    }
+    return out;
+  }
+
   SolveStatus iterate(const std::vector<double>& c, bool phase1) {
     int degenerate_run = 0;
     while (true) {
       if (iterations_++ >= max_iterations_) return SolveStatus::IterationLimit;
       const bool bland = degenerate_run >= opt_.bland_threshold;
+      // Reinversion trigger 1 (deterministic: a pure function of the pivot
+      // sequence): on the transition into Bland's anti-cycling mode,
+      // refactorize once so the endgame prices against exact basic values
+      // instead of the drift the Harris bound-expansion accumulated.
+      if (degenerate_run == opt_.bland_threshold) refactorize();
       const std::vector<double> y = compute_y(c);
 
       // --- Pricing ---
@@ -606,37 +720,12 @@ class Engine {
               : 1.0;
       const std::vector<double> w = ftran(enter);
 
-      // --- Ratio test ---
-      double t_max = kInfinity;
-      int leave_pos = -1;
-      bool leave_to_upper = false;
-      for (int i = 0; i < t_.m; ++i) {
-        const double coef = sigma * w[i];
-        const int bj = t_.basis[i];
-        if (coef > opt_.pivot_tol) {
-          if (!std::isfinite(t_.lb[bj])) continue;
-          const double room = std::max(0.0, t_.value[bj] - t_.lb[bj]);
-          const double ratio = room / coef;
-          if (ratio < t_max - opt_.tol ||
-              (ratio < t_max + opt_.tol &&
-               (leave_pos < 0 || bj < t_.basis[leave_pos]))) {
-            t_max = std::min(t_max, ratio);
-            leave_pos = i;
-            leave_to_upper = false;
-          }
-        } else if (coef < -opt_.pivot_tol) {
-          if (!std::isfinite(t_.ub[bj])) continue;
-          const double room = std::max(0.0, t_.ub[bj] - t_.value[bj]);
-          const double ratio = room / (-coef);
-          if (ratio < t_max - opt_.tol ||
-              (ratio < t_max + opt_.tol &&
-               (leave_pos < 0 || bj < t_.basis[leave_pos]))) {
-            t_max = std::min(t_max, ratio);
-            leave_pos = i;
-            leave_to_upper = true;
-          }
-        }
-      }
+      // --- Ratio test (Harris two-pass by default; see simplex.h) ---
+      const RatioChoice choice =
+          opt_.harris ? ratio_test_harris(sigma, w) : ratio_test_textbook(sigma, w);
+      double t_max = choice.t_max;
+      const int leave_pos = choice.leave_pos;
+      const bool leave_to_upper = choice.leave_to_upper;
       // Bound-flip of the entering variable itself.  Ties go to the flip:
       // it needs no basis change, and on degenerate bottlenecks it leaves
       // the basis whose dual prices the *extra* unit of capacity (the
@@ -681,8 +770,15 @@ class Engine {
       set_basic(enter, leave_pos, enter_value);
 
       // --- Update the factorization ---
+      // Reinversion triggers 2-4, all deterministic (pure functions of the
+      // pivot sequence): an absolutely tiny pivot, a pivot small relative
+      // to the spike's largest entry (an eta division by it would amplify
+      // the spike by > 1/kOptTol), and the periodic eta-file cap.
       const double pivot = w[leave_pos];
-      if (std::abs(pivot) < opt_.pivot_tol) {
+      double spike = 0;
+      for (int i = 0; i < t_.m; ++i) spike = std::max(spike, std::abs(w[i]));
+      if (std::abs(pivot) < opt_.pivot_tol ||
+          std::abs(pivot) < num::kOptTol * spike) {
         refactorize();
         continue;
       }

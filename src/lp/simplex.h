@@ -38,6 +38,7 @@
 
 #include "lp/problem.h"
 #include "lp/types.h"
+#include "util/numeric.h"
 
 namespace metis::lp {
 
@@ -45,13 +46,23 @@ struct SimplexOptions {
   /// 0 means automatic: 200 * (rows + cols) + 2000.
   int max_iterations = 0;
   /// Primal feasibility / reduced-cost tolerance.
-  double tol = 1e-7;
+  double tol = num::kFeasTol;
   /// Pivot magnitude below which a column is rejected as numerically unsafe.
-  double pivot_tol = 1e-9;
+  double pivot_tol = num::kPivotTol;
   /// Refactorize the basis every this many pivots.
   int refactor_interval = 100;
   /// Consecutive degenerate pivots before switching to Bland's rule.
   int bland_threshold = 64;
+  /// Harris two-pass ratio test: pass 1 finds the minimum ratio with every
+  /// bound expanded by the feasibility budget `tol * max(1, |bound|)`;
+  /// pass 2 picks the numerically largest pivot among the candidates that
+  /// fit under it (ties to the smallest basis column index).  Degenerate
+  /// and near-degenerate instances get large stable pivots instead of
+  /// cycling on tiny ones; transient bound violations are bounded by the
+  /// expansion budget and washed out at the next refactorization.  Off
+  /// falls back to the textbook smallest-ratio rule (the differential fuzz
+  /// oracle cross-checks the two paths against each other).
+  bool harris = true;
   /// Geometric-mean equilibration of rows and columns before solving.
   /// Opt-in: it rescues problems whose coefficients span many orders of
   /// magnitude (see test_lp_stress), but on naturally well-scaled models —

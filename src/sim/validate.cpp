@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "util/numeric.h"
+
 namespace metis::sim {
 
 std::vector<std::string> check_schedule(const core::SpmInstance& instance,
@@ -31,7 +33,11 @@ std::vector<std::string> check_schedule(const core::SpmInstance& instance,
   const core::LoadMatrix loads = core::compute_loads(instance, schedule);
   for (net::EdgeId e = 0; e < instance.num_edges(); ++e) {
     for (int t = 0; t < instance.num_slots(); ++t) {
-      if (loads.at(e, t) > plan.units[e] + 1e-6) {
+      // Relative tolerance scaled by the purchased capacity: an absolute
+      // slack that is negligible on a 1-unit edge would hide real
+      // oversubscription on a large one, and vice versa.
+      if (!num::approx_le(loads.at(e, t), plan.units[e], plan.units[e],
+                          num::kOptTol)) {
         std::ostringstream os;
         os << "edge " << e << " slot " << t << ": load " << loads.at(e, t)
            << " exceeds capacity " << plan.units[e];

@@ -1,0 +1,612 @@
+#include "lp_reference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <sstream>
+
+#include "util/numeric.h"
+
+namespace metis::lp::reference {
+
+namespace {
+
+// Tolerances for the reference path.  Deliberately the same named policy the
+// production solver uses (util/numeric.h) so a disagreement between the two
+// is a logic difference, not a tolerance difference.
+constexpr double kDTol = num::kFeasTol;      // reduced-cost threshold
+constexpr double kPivTol = num::kPivotTol;   // pivot magnitude floor
+
+/// The standard-form image of a LinearProblem:
+///   min c^T s   s.t.  A s = b,  s >= 0,  b >= 0,
+/// with the original columns recovered as x_j = shift_j + dir_j * s_pos  or
+/// x_j = s_pos - s_neg for free columns.
+struct Standard {
+  std::vector<std::vector<double>> a;  // m x n, dense
+  std::vector<double> b;               // m, nonnegative
+  std::vector<double> c;               // n, minimization costs
+  struct BackMap {
+    double shift = 0;
+    double dir = 1;      // +1 or -1
+    int pos = -1;        // standard column carrying the variable; -1 = fixed
+    int neg = -1;        // second column of a free split
+  };
+  std::vector<BackMap> map;  // one per original column
+  int n = 0;
+  int m = 0;
+};
+
+Standard to_standard(const LinearProblem& p) {
+  Standard s;
+  const double sign = p.sense() == Sense::Minimize ? 1.0 : -1.0;
+  const int n_orig = p.num_variables();
+  s.map.resize(n_orig);
+
+  // Pass 1: allocate standard columns and record bound rows to add.
+  struct BoundRow {
+    int col;
+    double range;
+  };
+  std::vector<BoundRow> bound_rows;
+  for (int j = 0; j < n_orig; ++j) {
+    const double lb = p.lower_bound(j);
+    const double ub = p.upper_bound(j);
+    Standard::BackMap& bm = s.map[j];
+    if (std::isfinite(lb) && std::isfinite(ub) && ub - lb <= 0) {
+      bm.shift = lb;  // fixed column: no standard variable at all
+      continue;
+    }
+    if (std::isfinite(lb)) {
+      bm.shift = lb;
+      bm.dir = 1;
+      bm.pos = s.n++;
+      if (std::isfinite(ub)) bound_rows.push_back({bm.pos, ub - lb});
+    } else if (std::isfinite(ub)) {
+      bm.shift = ub;  // x = ub - s, s >= 0
+      bm.dir = -1;
+      bm.pos = s.n++;
+    } else {
+      bm.dir = 1;  // free: x = s_pos - s_neg
+      bm.pos = s.n++;
+      bm.neg = s.n++;
+    }
+  }
+
+  // Costs in minimization form.
+  s.c.assign(s.n, 0.0);
+  for (int j = 0; j < n_orig; ++j) {
+    const Standard::BackMap& bm = s.map[j];
+    if (bm.pos < 0) continue;
+    const double cj = sign * p.objective_coef(j);
+    s.c[bm.pos] += cj * bm.dir;
+    if (bm.neg >= 0) s.c[bm.neg] -= cj;
+  }
+
+  // Constraint rows: substitute the column mapping, then append one slack
+  // (LessEqual +1 / GreaterEqual -1) per inequality.  Slack columns are
+  // appended after all structural columns so indices stay stable.
+  const int num_rows = p.num_rows() + static_cast<int>(bound_rows.size());
+  int n_slack = 0;
+  for (int r = 0; r < p.num_rows(); ++r) {
+    if (p.row(r).type != RowType::Equal) ++n_slack;
+  }
+  n_slack += static_cast<int>(bound_rows.size());
+  const int slack_base = s.n;
+  s.n += n_slack;
+  s.c.resize(s.n, 0.0);
+
+  s.a.assign(num_rows, std::vector<double>(s.n, 0.0));
+  s.b.assign(num_rows, 0.0);
+  int next_slack = slack_base;
+  for (int r = 0; r < p.num_rows(); ++r) {
+    const Row& row = p.row(r);
+    double rhs = row.rhs;
+    for (const RowEntry& e : row.entries) {
+      const Standard::BackMap& bm = s.map[e.col];
+      rhs -= e.coef * bm.shift;
+      if (bm.pos < 0) continue;
+      s.a[r][bm.pos] += e.coef * bm.dir;
+      if (bm.neg >= 0) s.a[r][bm.neg] -= e.coef;
+    }
+    s.b[r] = rhs;
+    if (row.type == RowType::LessEqual) s.a[r][next_slack++] = 1.0;
+    if (row.type == RowType::GreaterEqual) s.a[r][next_slack++] = -1.0;
+  }
+  for (std::size_t k = 0; k < bound_rows.size(); ++k) {
+    const int r = p.num_rows() + static_cast<int>(k);
+    s.a[r][bound_rows[k].col] = 1.0;
+    s.b[r] = bound_rows[k].range;
+    s.a[r][next_slack++] = 1.0;
+  }
+
+  // Normalize to b >= 0.
+  for (int r = 0; r < num_rows; ++r) {
+    if (s.b[r] < 0) {
+      s.b[r] = -s.b[r];
+      for (double& v : s.a[r]) v = -v;
+    }
+  }
+  s.m = num_rows;
+  return s;
+}
+
+/// Full-tableau simplex state: m rows of [columns | rhs], a reduced-cost
+/// row `d` and the (negated) objective value, pivoted in lockstep.
+struct Tableau {
+  std::vector<std::vector<double>> t;  // m x (n_total + 1); last col = rhs
+  std::vector<double> d;               // n_total reduced costs
+  double obj = 0;                      // current objective value
+  std::vector<int> basis;              // m basic column indices
+  int n_total = 0;
+
+  void pivot(int row, int col) {
+    const double piv = t[row][col];
+    for (double& v : t[row]) v /= piv;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (static_cast<int>(i) == row) continue;
+      const double f = t[i][col];
+      if (f == 0) continue;
+      for (int j = 0; j <= n_total; ++j) t[i][j] -= f * t[row][j];
+    }
+    const double fd = d[col];
+    if (fd != 0) {
+      for (int j = 0; j < n_total; ++j) d[j] -= fd * t[row][j];
+      obj += fd * t[row][n_total];
+    }
+    basis[row] = col;
+  }
+};
+
+/// One Bland-rule phase over columns [0, limit).  Returns Optimal when no
+/// entering column remains, Unbounded when a column can grow forever, or
+/// IterationLimit on a pivot-count blowup (should be unreachable: Bland's
+/// rule excludes cycling).
+SolveStatus run_phase(Tableau& tab, int limit) {
+  const long max_pivots =
+      2000L * (static_cast<long>(tab.t.size()) + limit) + 10000;
+  for (long it = 0; it < max_pivots; ++it) {
+    // Bland entering rule: smallest-index column with negative reduced cost.
+    int enter = -1;
+    for (int j = 0; j < limit; ++j) {
+      if (tab.d[j] < -kDTol) {
+        enter = j;
+        break;
+      }
+    }
+    if (enter < 0) return SolveStatus::Optimal;
+    // Bland leaving rule: smallest ratio, ties to smallest basis index.
+    int leave = -1;
+    double best = 0;
+    for (std::size_t i = 0; i < tab.t.size(); ++i) {
+      const double a = tab.t[i][enter];
+      if (a <= kPivTol) continue;
+      const double ratio = tab.t[i][tab.n_total] / a;
+      if (leave < 0 || ratio < best - num::kTieTol ||
+          (ratio <= best + num::kTieTol && tab.basis[i] < tab.basis[leave])) {
+        leave = static_cast<int>(i);
+        best = ratio;
+      }
+    }
+    if (leave < 0) return SolveStatus::Unbounded;
+    tab.pivot(leave, enter);
+  }
+  return SolveStatus::IterationLimit;
+}
+
+}  // namespace
+
+ReferenceSolution solve_reference(const LinearProblem& problem) {
+  problem.validate();
+  ReferenceSolution out;
+  const Standard s = to_standard(problem);
+
+  // Build the phase-1 tableau: one artificial per row, basis = artificials.
+  Tableau tab;
+  const int n_art = s.m;
+  tab.n_total = s.n + n_art;
+  tab.t.assign(s.m, std::vector<double>(tab.n_total + 1, 0.0));
+  tab.basis.resize(s.m);
+  for (int r = 0; r < s.m; ++r) {
+    for (int j = 0; j < s.n; ++j) tab.t[r][j] = s.a[r][j];
+    tab.t[r][s.n + r] = 1.0;
+    tab.t[r][tab.n_total] = s.b[r];
+    tab.basis[r] = s.n + r;
+  }
+  // Phase-1 reduced costs: minimize the artificial sum, so d_j = -sum_i a_ij
+  // for structural columns, 0 for artificials (already basic).
+  tab.d.assign(tab.n_total, 0.0);
+  double b_scale = 1.0;
+  tab.obj = 0;
+  for (int r = 0; r < s.m; ++r) {
+    for (int j = 0; j < s.n; ++j) tab.d[j] -= tab.t[r][j];
+    tab.obj += tab.t[r][tab.n_total];
+    b_scale = std::max(b_scale, std::abs(s.b[r]));
+  }
+
+  SolveStatus st = run_phase(tab, s.n);  // artificials may never re-enter
+  if (st == SolveStatus::IterationLimit) {
+    out.status = st;
+    return out;
+  }
+  if (tab.obj > num::kOptTol * b_scale) {
+    out.status = SolveStatus::Infeasible;
+    return out;
+  }
+
+  // Drive leftover (zero-valued) artificials out of the basis; a row where
+  // no structural pivot exists is redundant and is dropped.
+  for (int r = static_cast<int>(tab.t.size()) - 1; r >= 0; --r) {
+    if (tab.basis[r] < s.n) continue;
+    int enter = -1;
+    for (int j = 0; j < s.n; ++j) {
+      if (std::abs(tab.t[r][j]) > kPivTol) {
+        enter = j;
+        break;
+      }
+    }
+    if (enter >= 0) {
+      tab.pivot(r, enter);
+    } else {
+      tab.t.erase(tab.t.begin() + r);
+      tab.basis.erase(tab.basis.begin() + r);
+    }
+  }
+
+  // Phase-2 reduced costs from scratch: d_j = c_j - c_B^T (B^{-1} A)_j.
+  tab.d.assign(tab.n_total, 0.0);
+  for (int j = 0; j < s.n; ++j) tab.d[j] = s.c[j];
+  tab.obj = 0;
+  for (std::size_t r = 0; r < tab.t.size(); ++r) {
+    const double cb = tab.basis[r] < s.n ? s.c[tab.basis[r]] : 0.0;
+    if (cb == 0) continue;
+    for (int j = 0; j < s.n; ++j) tab.d[j] -= cb * tab.t[r][j];
+    tab.obj += cb * tab.t[r][tab.n_total];
+  }
+  st = run_phase(tab, s.n);
+  if (st != SolveStatus::Optimal) {
+    out.status = st;
+    return out;
+  }
+
+  // Recover the original columns.
+  std::vector<double> sval(s.n, 0.0);
+  for (std::size_t r = 0; r < tab.t.size(); ++r) {
+    if (tab.basis[r] < s.n) sval[tab.basis[r]] = tab.t[r][tab.n_total];
+  }
+  out.x.assign(problem.num_variables(), 0.0);
+  for (int j = 0; j < problem.num_variables(); ++j) {
+    const auto& bm = s.map[j];
+    double v = bm.shift;
+    if (bm.pos >= 0) v += bm.dir * sval[bm.pos];
+    if (bm.neg >= 0) v -= sval[bm.neg];
+    out.x[j] = v;
+  }
+  out.objective = problem.objective_value(out.x);
+  out.status = SolveStatus::Optimal;
+  return out;
+}
+
+std::vector<std::string> check_certificates(const LinearProblem& problem,
+                                            const LpSolution& sol) {
+  std::vector<std::string> bad;
+  auto fail = [&bad](const std::string& msg) { bad.push_back(msg); };
+  if (sol.status != SolveStatus::Optimal) {
+    fail("certificate check requires an Optimal solution");
+    return bad;
+  }
+  if (static_cast<int>(sol.x.size()) != problem.num_variables() ||
+      static_cast<int>(sol.duals.size()) != problem.num_rows()) {
+    fail("primal/dual vector size mismatch");
+    return bad;
+  }
+  // Checking tolerance: one order looser than the certified quantity so the
+  // check flags logic bugs, not honest round-off.
+  const double tol = 10 * num::kOptTol;
+
+  if (!problem.is_feasible(sol.x, num::kOptTol)) {
+    fail("primal solution violates a row or bound");
+  }
+
+  // Work in minimization form.
+  const double sign = problem.sense() == Sense::Minimize ? 1.0 : -1.0;
+  std::vector<double> y(problem.num_rows());
+  for (int r = 0; r < problem.num_rows(); ++r) y[r] = sign * sol.duals[r];
+
+  std::vector<double> d(problem.num_variables());
+  for (int j = 0; j < problem.num_variables(); ++j) {
+    d[j] = sign * problem.objective_coef(j);
+  }
+  double y_scale = 1.0;
+  for (int r = 0; r < problem.num_rows(); ++r) {
+    y_scale = std::max(y_scale, std::abs(y[r]));
+    for (const RowEntry& e : problem.row(r).entries) {
+      d[e.col] -= y[r] * e.coef;
+    }
+  }
+
+  // Row dual signs + complementary slackness.
+  for (int r = 0; r < problem.num_rows(); ++r) {
+    const Row& row = problem.row(r);
+    const double activity = problem.row_activity(r, sol.x);
+    const double slack = row.rhs - activity;
+    const double slack_tol = tol * num::rel_scale(row.rhs);
+    std::ostringstream os;
+    switch (row.type) {
+      case RowType::LessEqual:
+        if (y[r] > tol * y_scale) {
+          os << "row " << r << " (<=): dual " << y[r] << " must be <= 0";
+          fail(os.str());
+        } else if (slack > slack_tol && std::abs(y[r]) > tol * y_scale) {
+          os << "row " << r << ": slack " << slack << " with nonzero dual "
+             << y[r];
+          fail(os.str());
+        }
+        break;
+      case RowType::GreaterEqual:
+        if (y[r] < -tol * y_scale) {
+          os << "row " << r << " (>=): dual " << y[r] << " must be >= 0";
+          fail(os.str());
+        } else if (slack < -slack_tol && std::abs(y[r]) > tol * y_scale) {
+          os << "row " << r << ": surplus " << -slack << " with nonzero dual "
+             << y[r];
+          fail(os.str());
+        }
+        break;
+      case RowType::Equal:
+        break;  // free dual
+    }
+  }
+
+  // Reduced-cost signs by variable position, and the dual objective's bound
+  // contributions along the way.
+  double d_scale = 1.0;
+  for (double v : d) d_scale = std::max(d_scale, std::abs(v));
+  double dual_obj = 0;
+  for (int r = 0; r < problem.num_rows(); ++r) {
+    dual_obj += y[r] * problem.row(r).rhs;
+  }
+  for (int j = 0; j < problem.num_variables(); ++j) {
+    const double lb = problem.lower_bound(j);
+    const double ub = problem.upper_bound(j);
+    const double xj = sol.x[j];
+    const double btol = tol * num::rel_scale(std::max(std::abs(lb),
+                                                      std::abs(ub)));
+    const bool at_lower = std::isfinite(lb) && xj <= lb + btol;
+    const bool at_upper = std::isfinite(ub) && xj >= ub - btol;
+    std::ostringstream os;
+    if (!(at_lower && at_upper)) {  // fixed columns admit any reduced cost
+      if (at_lower && d[j] < -tol * d_scale) {
+        os << "col " << j << " at lower bound with reduced cost " << d[j];
+        fail(os.str());
+      } else if (at_upper && !at_lower && d[j] > tol * d_scale) {
+        os << "col " << j << " at upper bound with reduced cost " << d[j];
+        fail(os.str());
+      } else if (!at_lower && !at_upper && std::abs(d[j]) > tol * d_scale) {
+        os << "col " << j << " interior with reduced cost " << d[j];
+        fail(os.str());
+      }
+    }
+    // Bound contribution: positive reduced costs lean on the lower bound,
+    // negative on the upper.  A significant reduced cost on a missing bound
+    // cannot happen at a true optimum.
+    if (d[j] > tol * d_scale) {
+      if (!std::isfinite(lb)) {
+        os << "col " << j << ": positive reduced cost with no lower bound";
+        fail(os.str());
+      } else {
+        dual_obj += d[j] * lb;
+      }
+    } else if (d[j] < -tol * d_scale) {
+      if (!std::isfinite(ub)) {
+        os << "col " << j << ": negative reduced cost with no upper bound";
+        fail(os.str());
+      } else {
+        dual_obj += d[j] * ub;
+      }
+    }
+  }
+
+  // Strong duality in minimization form.
+  const double primal = sign * sol.objective;
+  if (std::abs(primal - dual_obj) > tol * num::rel_scale(primal)) {
+    std::ostringstream os;
+    os << "strong duality gap: primal " << primal << " vs dual " << dual_obj;
+    fail(os.str());
+  }
+  return bad;
+}
+
+namespace {
+
+/// A tiny synthetic SPM instance: E edges, T slots, K requests, each with a
+/// couple of candidate "paths" (random edge subsets) and an active window.
+struct MiniSpm {
+  int num_edges = 0;
+  int num_slots = 0;
+  struct Request {
+    double value = 0;
+    double rate = 0;
+    int t0 = 0, t1 = 0;
+    std::vector<std::vector<int>> paths;  // edge lists
+  };
+  std::vector<Request> requests;
+  std::vector<double> cap;  // per-edge capacity
+  std::vector<double> price;
+};
+
+MiniSpm make_mini(std::mt19937_64& rng, bool tie_heavy, double scale) {
+  std::uniform_int_distribution<int> edges_d(2, 5), slots_d(2, 4),
+      reqs_d(3, 8), paths_d(1, 3);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  MiniSpm spm;
+  spm.num_edges = edges_d(rng);
+  spm.num_slots = slots_d(rng);
+  const int K = reqs_d(rng);
+  for (int e = 0; e < spm.num_edges; ++e) {
+    spm.cap.push_back(tie_heavy ? 2.0 * scale
+                                : (1.0 + 3.0 * unit(rng)) * scale);
+    spm.price.push_back(tie_heavy ? 1.0 : 0.5 + unit(rng));
+  }
+  for (int i = 0; i < K; ++i) {
+    MiniSpm::Request r;
+    r.value = (tie_heavy ? 1.0 : 0.5 + unit(rng)) * scale;
+    r.rate = (tie_heavy ? 1.0 : 0.2 + unit(rng)) * scale;
+    r.t0 = std::uniform_int_distribution<int>(0, spm.num_slots - 1)(rng);
+    r.t1 = std::uniform_int_distribution<int>(r.t0, spm.num_slots - 1)(rng);
+    const int P = paths_d(rng);
+    for (int jp = 0; jp < P; ++jp) {
+      std::vector<int> path;
+      for (int e = 0; e < spm.num_edges; ++e) {
+        if (unit(rng) < 0.45) path.push_back(e);
+      }
+      if (path.empty()) {
+        path.push_back(
+            std::uniform_int_distribution<int>(0, spm.num_edges - 1)(rng));
+      }
+      r.paths.push_back(std::move(path));
+    }
+    spm.requests.push_back(std::move(r));
+  }
+  return spm;
+}
+
+/// BL-SPM shape: maximize accepted value under fixed per-edge capacities.
+///   max sum_i v_i sum_j x_ij
+///   s.t. sum_j x_ij <= 1 per request; per (e,t): sum loads <= cap_e;
+///        x_ij in [0, 1].
+LinearProblem build_bl(const MiniSpm& spm) {
+  LinearProblem p(Sense::Maximize);
+  std::vector<std::vector<int>> var(spm.requests.size());
+  for (std::size_t i = 0; i < spm.requests.size(); ++i) {
+    for (std::size_t j = 0; j < spm.requests[i].paths.size(); ++j) {
+      var[i].push_back(p.add_variable(0.0, 1.0, spm.requests[i].value));
+    }
+  }
+  for (std::size_t i = 0; i < spm.requests.size(); ++i) {
+    std::vector<RowEntry> row;
+    for (int v : var[i]) row.push_back({v, 1.0});
+    p.add_row(RowType::LessEqual, 1.0, std::move(row));
+  }
+  for (int e = 0; e < spm.num_edges; ++e) {
+    for (int t = 0; t < spm.num_slots; ++t) {
+      std::vector<RowEntry> row;
+      for (std::size_t i = 0; i < spm.requests.size(); ++i) {
+        const auto& r = spm.requests[i];
+        if (t < r.t0 || t > r.t1) continue;
+        for (std::size_t j = 0; j < r.paths.size(); ++j) {
+          if (std::count(r.paths[j].begin(), r.paths[j].end(), e)) {
+            row.push_back({var[i][j], r.rate});
+          }
+        }
+      }
+      if (!row.empty()) {
+        p.add_row(RowType::LessEqual, spm.cap[e], std::move(row));
+      }
+    }
+  }
+  return p;
+}
+
+/// RL-SPM shape: all requests must be fully routed; minimize purchase cost.
+///   min sum_e u_e c_e
+///   s.t. sum_j x_ij = 1 per request; per (e,t): load - c_e <= 0;
+///        x_ij in [0,1], c_e in [0, cap_e].
+LinearProblem build_rl(const MiniSpm& spm, bool zero_some_caps,
+                       std::mt19937_64& rng) {
+  LinearProblem p(Sense::Minimize);
+  std::vector<std::vector<int>> var(spm.requests.size());
+  for (std::size_t i = 0; i < spm.requests.size(); ++i) {
+    for (std::size_t j = 0; j < spm.requests[i].paths.size(); ++j) {
+      var[i].push_back(p.add_variable(0.0, 1.0, 0.0));
+    }
+  }
+  std::vector<int> cvar(spm.num_edges);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (int e = 0; e < spm.num_edges; ++e) {
+    const bool faulted = zero_some_caps && unit(rng) < 0.3;
+    // A faulted edge models a post-fault topology: the purchase column is
+    // pinned to zero, so any route over it must be priced out by phase 1.
+    cvar[e] = p.add_variable(0.0, faulted ? 0.0 : spm.cap[e], spm.price[e]);
+  }
+  for (std::size_t i = 0; i < spm.requests.size(); ++i) {
+    std::vector<RowEntry> row;
+    for (int v : var[i]) row.push_back({v, 1.0});
+    p.add_row(RowType::Equal, 1.0, std::move(row));
+  }
+  for (int e = 0; e < spm.num_edges; ++e) {
+    for (int t = 0; t < spm.num_slots; ++t) {
+      std::vector<RowEntry> row;
+      for (std::size_t i = 0; i < spm.requests.size(); ++i) {
+        const auto& r = spm.requests[i];
+        if (t < r.t0 || t > r.t1) continue;
+        for (std::size_t j = 0; j < r.paths.size(); ++j) {
+          if (std::count(r.paths[j].begin(), r.paths[j].end(), e)) {
+            row.push_back({var[i][j], r.rate});
+          }
+        }
+      }
+      if (!row.empty()) {
+        row.push_back({cvar[e], -1.0});
+        p.add_row(RowType::LessEqual, 0.0, std::move(row));
+      }
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+FuzzCase make_fuzz_case(unsigned long long seed) {
+  std::mt19937_64 rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+  const int cls = static_cast<int>(seed % 6);
+  FuzzCase out{LinearProblem(), ""};
+  std::ostringstream label;
+  switch (cls) {
+    case 0: {  // benign BL shape
+      out.problem = build_bl(make_mini(rng, false, 1.0));
+      label << "bl";
+      break;
+    }
+    case 1: {  // benign RL shape (equality rows + linked purchase columns)
+      MiniSpm spm = make_mini(rng, false, 1.0);
+      out.problem = build_rl(spm, false, rng);
+      label << "rl";
+      break;
+    }
+    case 2: {  // degenerate: identical values/rates/caps -> massive ties
+      out.problem = build_bl(make_mini(rng, true, 1.0));
+      label << "degenerate-ties";
+      break;
+    }
+    case 3: {  // near-singular: duplicate a row with a vanishing perturbation
+      out.problem = build_bl(make_mini(rng, false, 1.0));
+      if (out.problem.num_rows() > 0) {
+        std::uniform_int_distribution<int> pick(0, out.problem.num_rows() - 1);
+        const Row src = out.problem.row(pick(rng));
+        std::vector<RowEntry> entries = src.entries;
+        if (!entries.empty()) {
+          entries.front().coef *= 1.0 + num::kSingularTol;
+        }
+        out.problem.add_row(src.type, src.rhs, std::move(entries));
+      }
+      label << "near-singular";
+      break;
+    }
+    case 4: {  // fault-mutated RL: some purchase columns pinned to zero
+      MiniSpm spm = make_mini(rng, false, 1.0);
+      out.problem = build_rl(spm, true, rng);
+      label << "fault-mutated";
+      break;
+    }
+    default: {  // badly scaled: unit-sized rates against million-sized bids
+      out.problem = build_bl(make_mini(rng, false, 1000.0));
+      label << "large-scale";
+      break;
+    }
+  }
+  label << " seed=" << seed;
+  out.label = label.str();
+  return out;
+}
+
+}  // namespace metis::lp::reference

@@ -1,0 +1,63 @@
+// Differential-testing support for the sparse simplex solver:
+//
+//  * solve_reference — an intentionally naive dense textbook simplex
+//    (standard-form transformation, full tableau, Bland's rule in both
+//    phases).  Slow but simple enough to audit by hand, and guaranteed to
+//    terminate; it shares no code with src/lp/simplex.cpp, so agreement
+//    between the two is strong evidence both are right.
+//  * check_certificates — verifies a claimed-Optimal LpSolution against the
+//    KKT conditions (primal feasibility, dual/reduced-cost signs,
+//    complementary slackness, strong duality) without needing any reference
+//    duals.  Returns human-readable violations; empty means certified.
+//  * make_fuzz_case — seeded generator of SPM-shaped LPs covering the
+//    failure classes the solver must survive: benign BL/RL shapes,
+//    degenerate ties, near-singular rows, fault-mutated zero capacities and
+//    badly scaled data.
+//
+// Used by tests/test_lp_fuzz.cpp (ctest label `numeric`) and the
+// tools/fuzz_lp standalone driver.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lp/problem.h"
+#include "lp/types.h"
+
+namespace metis::lp::reference {
+
+struct ReferenceSolution {
+  SolveStatus status = SolveStatus::NotSolved;
+  double objective = 0;           ///< in the problem's own sense
+  std::vector<double> x;          ///< one value per structural column
+};
+
+/// Dense two-phase tableau simplex with Bland's rule throughout.
+/// Returns Optimal, Infeasible, Unbounded or (only under a pathological
+/// pivot-count blowup) IterationLimit.
+ReferenceSolution solve_reference(const LinearProblem& problem);
+
+/// KKT certification of a claimed-Optimal solution.  Checks, in the
+/// minimization form of `problem`:
+///   1. primal feasibility (LinearProblem::is_feasible);
+///   2. row dual signs: LessEqual rows need y <= 0, GreaterEqual y >= 0,
+///      Equal free;
+///   3. reduced-cost signs: d_j = c_j - y^T A_j must be >= 0 at lower
+///      bounds, <= 0 at upper bounds, ~0 for interior/free columns;
+///   4. complementary slackness: slack rows carry zero duals;
+///   5. strong duality: y^T b plus the bound contributions of the reduced
+///      costs equals the primal objective.
+/// Returns one message per violation; empty means the certificate holds.
+std::vector<std::string> check_certificates(const LinearProblem& problem,
+                                            const LpSolution& sol);
+
+struct FuzzCase {
+  LinearProblem problem;
+  std::string label;  ///< generator class + seed, for failure messages
+};
+
+/// Deterministic seeded generator.  The seed selects both the generator
+/// class (round-robin over six classes) and every random draw inside it.
+FuzzCase make_fuzz_case(unsigned long long seed);
+
+}  // namespace metis::lp::reference

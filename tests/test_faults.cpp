@@ -11,12 +11,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <memory>
 #include <stdexcept>
 #include <vector>
 
+#include "core/lp_builder.h"
 #include "core/metis.h"
+#include "lp/simplex.h"
 #include "net/topologies.h"
 #include "sim/faults.h"
 #include "sim/online.h"
@@ -380,6 +383,32 @@ TEST(OnlineFaults, DecisionsInvariantAcrossRoundingThreads) {
   for (std::size_t i = 0; i < serial.fault_paths.size(); ++i) {
     EXPECT_EQ(serial.fault_paths[i].edges, threaded.fault_paths[i].edges);
   }
+}
+
+TEST(FaultDegenerateLp, ZeroCapacityEdgesSolveCleanlyOnBothRatioTests) {
+  // A post-fault topology zeroes out capacity on failed edges, so the
+  // BL-SPM re-decide LP carries rows of the maximally degenerate form
+  // "load <= 0".  Those rows are tied-at-zero ratio candidates for every
+  // entering column they touch — exactly the shape that cycles a naive
+  // ratio test.  Both ratio-test paths must terminate, agree on the
+  // objective and keep the zeroed edges strictly unloaded.
+  const core::SpmInstance instance = make_instance(small_scenario(77));
+  core::ChargingPlan caps;
+  caps.units.assign(instance.num_edges(), 2);
+  caps.units[0] = 0;
+  caps.units[instance.num_edges() / 2] = 0;
+  const core::SpmModel model = core::build_bl_spm(instance, caps);
+
+  lp::SimplexOptions textbook_opt;
+  textbook_opt.harris = false;
+  const lp::LpSolution harris = lp::SimplexSolver().solve(model.problem);
+  const lp::LpSolution textbook =
+      lp::SimplexSolver(textbook_opt).solve(model.problem);
+  ASSERT_TRUE(harris.ok());
+  ASSERT_TRUE(textbook.ok());
+  EXPECT_NEAR(harris.objective, textbook.objective,
+              1e-6 * (1 + std::abs(harris.objective)));
+  EXPECT_TRUE(model.problem.is_feasible(harris.x));
 }
 
 TEST(SimulatorFaults, CyclesValidDeterministicAndPolicyFair) {

@@ -191,6 +191,84 @@ TEST(WarmStart, ObjectivePerturbationMatchesColdOnRandomSequence) {
   }
 }
 
+// ---------------------------------------------------------- degeneracy ----
+// Regression cover for the Harris ratio test (label: numeric): tied ratio
+// candidates and singular warm-start bases are exactly where a ratio-test
+// rewrite would break first.
+
+TEST(Degeneracy, TiedRatioCandidatesAgreeAcrossRatioTests) {
+  // Twelve identical unit-value requests over duplicated shared capacity
+  // rows: every ratio-test step sees a block of exactly tied candidates,
+  // and the duplicate rows force degenerate pivots.  Harris and textbook
+  // ratio tests may walk different vertex sequences but must land on the
+  // same objective.  Presolve off so the duplicates actually reach the
+  // simplex.
+  LinearProblem p(Sense::Maximize);
+  std::vector<int> x;
+  for (int i = 0; i < 12; ++i) x.push_back(p.add_variable(0, 1, 1.0));
+  for (int dup = 0; dup < 4; ++dup) {
+    std::vector<RowEntry> row;
+    for (int v : x) row.push_back({v, 1.0});
+    p.add_row(RowType::LessEqual, 3.0, row);
+  }
+  SimplexOptions harris_opt;
+  harris_opt.presolve = false;
+  SimplexOptions textbook_opt = harris_opt;
+  textbook_opt.harris = false;
+  const LpSolution harris = SimplexSolver(harris_opt).solve(p);
+  const LpSolution textbook = SimplexSolver(textbook_opt).solve(p);
+  ASSERT_TRUE(harris.ok());
+  ASSERT_TRUE(textbook.ok());
+  EXPECT_NEAR(harris.objective, 3.0, kTol);
+  EXPECT_LE(rel_diff(harris.objective, textbook.objective), kTol);
+}
+
+TEST(Degeneracy, DuplicateRateRequestsMatchAcrossRatioTests) {
+  // The SPM flavor of the same ambiguity: a real instance whose requests
+  // share one rate, so BL-SPM capacity rows tie at every pivot.
+  const core::SpmInstance instance = small_instance(11, 30);
+  core::ChargingPlan caps;
+  caps.units.assign(instance.num_edges(), 2);
+  const core::SpmModel model = core::build_bl_spm(instance, caps);
+  SimplexOptions textbook_opt;
+  textbook_opt.harris = false;
+  const LpSolution harris = SimplexSolver().solve(model.problem);
+  const LpSolution textbook = SimplexSolver(textbook_opt).solve(model.problem);
+  ASSERT_TRUE(harris.ok());
+  ASSERT_TRUE(textbook.ok());
+  EXPECT_LE(rel_diff(harris.objective, textbook.objective), kTol);
+}
+
+TEST(Degeneracy, SingularAfterMutationBasisFallsBackToCold) {
+  // A basis that was optimal for one problem can be structurally singular
+  // for a same-shaped mutated problem (here: the second row becomes a
+  // multiple of the first, so the two basic structurals are dependent).
+  // The factorization must detect it, reject the snapshot and cold-start —
+  // never crash or silently return the stale optimum.
+  LinearProblem before(Sense::Minimize);
+  const int x = before.add_variable(0, 5, -1);
+  const int y = before.add_variable(0, 5, -1);
+  before.add_row(RowType::LessEqual, 2, {{x, 1}, {y, 1}});
+  before.add_row(RowType::LessEqual, 0, {{x, 1}, {y, -1}});
+  SimplexSolver solver;
+  Basis basis;
+  const LpSolution first = solver.solve(before, &basis);
+  ASSERT_TRUE(first.ok());
+  ASSERT_FALSE(basis.empty());
+
+  LinearProblem mutated(Sense::Minimize);
+  const int mx = mutated.add_variable(0, 5, -1);
+  const int my = mutated.add_variable(0, 5, -1);
+  mutated.add_row(RowType::LessEqual, 2, {{mx, 1}, {my, 1}});
+  mutated.add_row(RowType::LessEqual, 4, {{mx, 2}, {my, 2}});
+  const LpSolution cold = solver.solve(mutated);
+  ASSERT_TRUE(cold.ok());
+  Basis stale = basis;
+  const LpSolution warm = solver.solve(mutated, &stale);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_LE(rel_diff(warm.objective, cold.objective), kTol);
+}
+
 // ---------------------------------------------------------- basis lift ----
 // Cross-shape reuse (lp/basis_lift.h): mapping the persistent part of an
 // old basis onto a differently-shaped problem.  Correctness never depends

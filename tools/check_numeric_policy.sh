@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Numeric-policy gate (ctest label: numeric).
+#
+# The solver and algorithm layers must not carry inline numeric-literal
+# epsilons: every tolerance is a named constant in src/util/numeric.h so the
+# feasibility/optimality contract lives in exactly one place (see DESIGN.md,
+# "Numerical contract").  This gate fails on any float literal with a
+# negative exponent inside the gated directories — including comments, which
+# have a way of becoming code.
+set -u
+cd "$(dirname "$0")/.."
+
+GATED_DIRS="src/lp src/core"
+
+matches=$(grep -rnE '[0-9][eE]-[0-9]' $GATED_DIRS || true)
+if [ -n "$matches" ]; then
+  echo "ERROR: inline epsilon literals in gated directories." >&2
+  echo "Route them through named constants in src/util/numeric.h:" >&2
+  echo "$matches" >&2
+  exit 1
+fi
+echo "numeric policy: $GATED_DIRS clean"
