@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "util/numeric.h"
@@ -10,9 +11,16 @@ namespace metis::core {
 
 namespace {
 /// exp with saturation: keeps saturated terms comparable instead of inf/nan.
+/// The cap is derived from the type's actual overflow point rather than a
+/// hardcoded constant: 11000 was only valid for 80-bit x87 long double and
+/// would overflow to inf on platforms where long double is IEEE binary64
+/// (log(DBL_MAX) ~ 709) or binary128.
 long double safe_exp(long double x) {
-  constexpr long double kMax = 11000.0L;  // just below long double overflow
-  return std::exp(std::min(x, kMax));
+  // The extra -1 is headroom: log(max) rounds to the nearest long double,
+  // which can land above the true logarithm, making exp(log(max)) == inf.
+  static const long double kMaxExponent =
+      std::log(std::numeric_limits<long double>::max()) - 1.0L;
+  return std::exp(std::min(x, kMaxExponent));
 }
 }  // namespace
 

@@ -105,6 +105,15 @@ class BasisFactor {
         }
       }
       if (piv < 0 || best < num::kSingularTol) {
+        // Singular: no acceptable pivot for basis position k.  Record
+        // which position failed and which rows no earlier pivot claimed
+        // (ascending), so the caller can repair the basis deterministically
+        // instead of giving up.
+        fail_pos_ = k;
+        fail_rows_.clear();
+        for (int r = 0; r < m_; ++r) {
+          if (pivot_pos[r] < 0) fail_rows_.push_back(r);
+        }
         for (int r : touched) {
           x[r] = 0.0;
           seen[r] = 0;
@@ -208,6 +217,11 @@ class BasisFactor {
 
   int eta_count() const { return static_cast<int>(etas_.size()); }
 
+  /// After a failed factorize: the basis position whose column had no
+  /// acceptable pivot, and the rows left unclaimed (ascending).
+  int fail_pos() const { return fail_pos_; }
+  const std::vector<int>& fail_rows() const { return fail_rows_; }
+
  private:
   struct LCol {  // elimination multipliers of one pivot, by original row
     std::vector<int> row;
@@ -230,6 +244,8 @@ class BasisFactor {
   std::vector<UCol> ucols_;
   std::vector<int> pivot_row_;  // pivot_row_[k] = original row of pivot k
   std::vector<Eta> etas_;
+  int fail_pos_ = -1;           // basis position of the last failure
+  std::vector<int> fail_rows_;  // unclaimed rows of the last failure
 };
 
 /// Builds sparse columns from the row-wise LinearProblem, merging duplicate
@@ -536,14 +552,66 @@ class Engine {
     return z;
   }
 
+  /// rho = B^{-T} e_r: row r of B^{-1}.  rho . a_j is entry j of the pivot
+  /// row, the quantity the devex weight recurrence needs per nonbasic
+  /// column.
+  std::vector<double> btran_unit(int r) const {
+    std::vector<double> z(t_.m, 0.0);
+    z[r] = 1.0;
+    std::vector<double> rho;
+    factor_.btran(z, rho);
+    return rho;
+  }
+
   /// Refactorizes the current basis from scratch and recomputes values.
+  /// Also resets the devex reference weights to a fresh reference
+  /// framework: the refactorization interval bounds how far the weight
+  /// recurrence can grow/drift, and a reset alongside the exact recompute
+  /// keeps the pricing frame and the numerical frame in lockstep.
   void refactorize() {
     if (t_.m == 0) return;
-    if (!factor_.factorize(t_, t_.basis)) {
-      throw std::runtime_error("simplex: singular basis during refactorize");
+    int repairs = 0;
+    while (!factor_.factorize(t_, t_.basis)) {
+      // A run of numerically tiny (but individually acceptable) pivots can
+      // leave the basis columns dependent to working precision.  The old
+      // behaviour was a hard throw; repair instead, so one bad pivot
+      // sequence cannot kill a whole solve.  Each repair claims one more
+      // row, so the loop terminates; the cap keeps the old throw as a
+      // backstop against pathological inputs.
+      if (++repairs > t_.m) {
+        throw std::runtime_error("simplex: singular basis during refactorize");
+      }
+      repair_basis(factor_.fail_pos(), factor_.fail_rows());
     }
+    basis_repairs_ += repairs;
     ++factorizations_;
     recompute_basic_values();
+    if (opt_.pricing == PricingRule::Devex) reset_devex();
+  }
+
+  /// Deterministic singular-basis repair: the LU found no acceptable pivot
+  /// for the column at basis position `pos` — it is numerically dependent
+  /// on the other basis columns.  Swap in the slack of the smallest
+  /// unclaimed row whose slack is still nonbasic (a unit column on an
+  /// unclaimed row is independent of everything already factored) and rest
+  /// the displaced column at its nearest bound.
+  void repair_basis(int pos, const std::vector<int>& unclaimed) {
+    int row = unclaimed.empty() ? -1 : unclaimed.front();
+    for (int r : unclaimed) {
+      if (t_.basis_row[t_.n_struct + r] < 0) {
+        row = r;
+        break;
+      }
+    }
+    if (row < 0) {
+      throw std::runtime_error("simplex: singular basis during refactorize");
+    }
+    const int out = t_.basis[pos];
+    const int slack = t_.n_struct + row;
+    t_.status[out] = initial_status(t_.lb[out], t_.ub[out]);
+    t_.value[out] = resting_value(t_.status[out], t_.lb[out], t_.ub[out]);
+    t_.basis_row[out] = -1;
+    set_basic(slack, pos, t_.value[slack]);
   }
 
   void recompute_basic_values() {
@@ -577,8 +645,18 @@ class Engine {
     bool leave_to_upper = false;
   };
 
-  /// Textbook smallest-ratio rule with a tolerance band: candidates within
-  /// `tol` of the minimum tie-break to the smallest basis column index.
+  /// Textbook smallest-ratio rule, two-pass.  Pass 1 finds the exact
+  /// minimum ratio; pass 2 tie-breaks to the smallest basis column index
+  /// among candidates within round-off (kTieTol, relative) of that *final*
+  /// minimum.  The band must be round-off sized and anchored at the final
+  /// minimum: the old one-pass rule banded against the running minimum with
+  /// the feasibility tolerance, which could (a) retain a leaving candidate
+  /// whose true ratio exceeds the step by up to `tol` — snapping it onto a
+  /// bound it never reached — and (b) skip recording a later, strictly
+  /// smaller ratio inside the band, overdriving the true blocker through
+  /// its bound.  Both inject up to tol*|coef| of error that, unlike the
+  /// Harris budget model's transient *basic* violations, sits on a nonbasic
+  /// value and therefore survives every refactorization.
   RatioChoice ratio_test_textbook(double sigma,
                                   const std::vector<double>& w) const {
     RatioChoice out;
@@ -588,25 +666,33 @@ class Engine {
       if (coef > opt_.pivot_tol) {
         if (!std::isfinite(t_.lb[bj])) continue;
         const double room = std::max(0.0, t_.value[bj] - t_.lb[bj]);
-        const double ratio = room / coef;
-        if (ratio < out.t_max - opt_.tol ||
-            (ratio < out.t_max + opt_.tol &&
-             (out.leave_pos < 0 || bj < t_.basis[out.leave_pos]))) {
-          out.t_max = std::min(out.t_max, ratio);
-          out.leave_pos = i;
-          out.leave_to_upper = false;
-        }
+        out.t_max = std::min(out.t_max, room / coef);
       } else if (coef < -opt_.pivot_tol) {
         if (!std::isfinite(t_.ub[bj])) continue;
         const double room = std::max(0.0, t_.ub[bj] - t_.value[bj]);
-        const double ratio = room / (-coef);
-        if (ratio < out.t_max - opt_.tol ||
-            (ratio < out.t_max + opt_.tol &&
-             (out.leave_pos < 0 || bj < t_.basis[out.leave_pos]))) {
-          out.t_max = std::min(out.t_max, ratio);
-          out.leave_pos = i;
-          out.leave_to_upper = true;
-        }
+        out.t_max = std::min(out.t_max, room / (-coef));
+      }
+    }
+    if (!std::isfinite(out.t_max)) return out;  // no blocking bound
+    const double band = num::kTieTol * num::rel_scale(out.t_max);
+    for (int i = 0; i < t_.m; ++i) {
+      const double coef = sigma * w[i];
+      const int bj = t_.basis[i];
+      double ratio;
+      bool to_upper;
+      if (coef > opt_.pivot_tol && std::isfinite(t_.lb[bj])) {
+        ratio = std::max(0.0, t_.value[bj] - t_.lb[bj]) / coef;
+        to_upper = false;
+      } else if (coef < -opt_.pivot_tol && std::isfinite(t_.ub[bj])) {
+        ratio = std::max(0.0, t_.ub[bj] - t_.value[bj]) / (-coef);
+        to_upper = true;
+      } else {
+        continue;
+      }
+      if (ratio > out.t_max + band) continue;
+      if (out.leave_pos < 0 || bj < t_.basis[out.leave_pos]) {
+        out.leave_pos = i;
+        out.leave_to_upper = to_upper;
       }
     }
     return out;
@@ -674,41 +760,154 @@ class Engine {
     return out;
   }
 
+  /// Pricing violation of nonbasic column j given reduced cost d, or 0
+  /// when j prices out (not attractive at its resting bound).
+  double pricing_violation(int j, double d) const {
+    if (t_.status[j] == VarStatus::AtLower && d < -opt_.tol) return -d;
+    if (t_.status[j] == VarStatus::AtUpper && d > opt_.tol) return d;
+    if (t_.status[j] == VarStatus::Free && std::abs(d) > opt_.tol)
+      return std::abs(d);
+    return 0.0;
+  }
+
+  /// Dantzig full scan: largest violation over every nonbasic column
+  /// (smallest index on ties).  Bland mode takes the first eligible index
+  /// instead, which guarantees termination.
+  int price_dantzig(const std::vector<double>& c, const std::vector<double>& y,
+                    bool bland, double* enter_d) {
+    ++pricing_passes_;
+    int enter = -1;
+    double best = 0;
+    for (int j = 0; j < t_.num_cols(); ++j) {
+      if (t_.status[j] == VarStatus::Basic || t_.is_fixed(j)) continue;
+      const double d = reduced_cost(j, c, y);
+      const double violation = pricing_violation(j, d);
+      if (violation <= 0) continue;
+      if (bland) {  // first eligible index
+        *enter_d = d;
+        return j;
+      }
+      if (violation > best) {
+        best = violation;
+        enter = j;
+        *enter_d = d;
+      }
+    }
+    return enter;
+  }
+
+  /// Devex partial pricing: scan the nonbasic ring in windows of
+  /// `pricing_window` columns starting just past the previous entering
+  /// column, stopping at the end of the first window that holds an
+  /// attractive column; the entering variable maximizes the devex-weighted
+  /// violation d_j^2 / w_j (deterministic ties to the smallest column
+  /// index).  When every window comes up empty the scan has walked the full
+  /// ring — exactly a Dantzig-style full pass — so "no candidate" certifies
+  /// optimality under the same tolerance as the full scan.
+  int price_devex(const std::vector<double>& c, const std::vector<double>& y,
+                  double* enter_d) {
+    ++pricing_passes_;
+    const int n = t_.num_cols();
+    const int window =
+        opt_.pricing_window > 0 ? opt_.pricing_window : std::max(64, n / 8);
+    int enter = -1;
+    double best_score = 0;
+    int scanned = 0;
+    for (int k = 0; k < n; ++k) {
+      int j = window_start_ + k;
+      if (j >= n) j -= n;
+      ++scanned;
+      if (t_.status[j] != VarStatus::Basic && !t_.is_fixed(j)) {
+        const double d = reduced_cost(j, c, y);
+        const double violation = pricing_violation(j, d);
+        if (violation > 0) {
+          const double score = violation * violation / devex_[j];
+          if (score > best_score ||
+              (score == best_score && enter >= 0 && j < enter)) {
+            best_score = score;
+            enter = j;
+            *enter_d = d;
+          }
+        }
+      }
+      if (enter >= 0 && (k + 1) % window == 0) break;
+    }
+    if (scanned >= n) {
+      ++full_fallbacks_;
+    } else {
+      ++partial_hits_;
+    }
+    if (enter >= 0) window_start_ = enter + 1 == n ? 0 : enter + 1;
+    return enter;
+  }
+
+  /// Resets every devex reference weight to 1 (a fresh reference
+  /// framework).  Called on refactorization — which bounds how stale the
+  /// projected-devex weights can get — and therefore also on Bland-mode
+  /// entry, whose transition refactorizes.
+  void reset_devex() { devex_.assign(t_.num_cols(), 1.0); }
+
+  /// Devex weight update for one pivot (Forrest & Goldfarb's recurrence):
+  /// entering column `enter` displaced position `leave_pos`'s variable to
+  /// `leave`, with pivot element `alpha` (the FTRAN spike at the pivot
+  /// position).  With alpha_j = e_r^T B^{-1} a_j the pivot-row entry of
+  /// nonbasic column j,
+  ///
+  ///    gamma_j    = max(gamma_j, (alpha_j / alpha)^2 * gamma_q)   j != q
+  ///    gamma_r    = max(gamma_q / alpha^2, 1)
+  ///
+  /// which keeps each gamma_j an underestimate-by-design reference-space
+  /// proxy for the steepest-edge norm ||B^{-1} a_j||^2.  The pivot row
+  /// costs one BTRAN of e_r plus a sweep of the nonbasic columns — the
+  /// same O(nnz(A)) order as one Dantzig pricing scan — and buys the
+  /// iteration-count reduction that is the whole point of devex; the
+  /// partial window then makes the *pricing* side cheap.  Weight growth is
+  /// bounded by the refactorization reset (a fresh reference framework
+  /// every refactor_interval pivots).
+  void update_devex(int enter, int leave, int leave_pos, double alpha) {
+    if (alpha == 0.0) return;  // unreachable: the pivot magnitude is checked
+    const double gq = std::max(devex_[enter], 1.0);
+    const double alpha_sq = alpha * alpha;
+    const std::vector<double> rho = btran_unit(leave_pos);
+    for (int j = 0; j < t_.num_cols(); ++j) {
+      if (t_.status[j] == VarStatus::Basic || t_.is_fixed(j) || j == enter) {
+        continue;
+      }
+      const Column& col = t_.cols[j];
+      double aj = 0;
+      for (std::size_t k = 0; k < col.row.size(); ++k) {
+        aj += rho[col.row[k]] * col.coef[k];
+      }
+      if (aj == 0.0) continue;
+      const double cand = aj * aj / alpha_sq * gq;
+      if (cand > devex_[j]) devex_[j] = cand;
+    }
+    devex_[leave] = std::max(gq / alpha_sq, 1.0);
+  }
+
   SolveStatus iterate(const std::vector<double>& c, bool phase1) {
     int degenerate_run = 0;
+    const bool devex = opt_.pricing == PricingRule::Devex;
+    if (devex) reset_devex();
     while (true) {
       if (iterations_++ >= max_iterations_) return SolveStatus::IterationLimit;
       const bool bland = degenerate_run >= opt_.bland_threshold;
       // Reinversion trigger 1 (deterministic: a pure function of the pivot
       // sequence): on the transition into Bland's anti-cycling mode,
       // refactorize once so the endgame prices against exact basic values
-      // instead of the drift the Harris bound-expansion accumulated.
+      // instead of the drift the Harris bound-expansion accumulated.  The
+      // refactorization also resets the devex weights, so Bland's endgame
+      // never prices on a stale reference framework.
       if (degenerate_run == opt_.bland_threshold) refactorize();
       const std::vector<double> y = compute_y(c);
 
-      // --- Pricing ---
+      // --- Pricing (devex partial by default; see simplex.h) ---
       int enter = -1;
       double enter_d = 0;
-      double best = opt_.tol;
-      for (int j = 0; j < t_.num_cols(); ++j) {
-        if (t_.status[j] == VarStatus::Basic || t_.is_fixed(j)) continue;
-        const double d = reduced_cost(j, c, y);
-        double violation = 0;
-        if (t_.status[j] == VarStatus::AtLower && d < -opt_.tol) violation = -d;
-        else if (t_.status[j] == VarStatus::AtUpper && d > opt_.tol) violation = d;
-        else if (t_.status[j] == VarStatus::Free && std::abs(d) > opt_.tol)
-          violation = std::abs(d);
-        if (violation <= 0) continue;
-        if (bland) {  // first eligible index
-          enter = j;
-          enter_d = d;
-          break;
-        }
-        if (violation > best) {
-          best = violation;
-          enter = j;
-          enter_d = d;
-        }
+      if (devex && !bland) {
+        enter = price_devex(c, y, &enter_d);
+      } else {
+        enter = price_dantzig(c, y, bland, &enter_d);
       }
       if (enter < 0) return SolveStatus::Optimal;
 
@@ -721,8 +920,16 @@ class Engine {
       const std::vector<double> w = ftran(enter);
 
       // --- Ratio test (Harris two-pass by default; see simplex.h) ---
-      const RatioChoice choice =
-          opt_.harris ? ratio_test_harris(sigma, w) : ratio_test_textbook(sigma, w);
+      // Bland's anti-cycling guarantee needs smallest-index selection on
+      // BOTH sides of the pivot: entering (price_dantzig in bland mode)
+      // AND leaving.  Harris's largest-pivot choice breaks the guarantee —
+      // on heavily degenerate vertices the Bland endgame can revisit bases
+      // forever (observed as a ~100k-iteration cycle under partial
+      // pricing) — so Bland mode always uses the textbook rule, whose
+      // tie-break is the smallest basis column index.
+      const RatioChoice choice = opt_.harris && !bland
+                                     ? ratio_test_harris(sigma, w)
+                                     : ratio_test_textbook(sigma, w);
       double t_max = choice.t_max;
       const int leave_pos = choice.leave_pos;
       const bool leave_to_upper = choice.leave_to_upper;
@@ -768,6 +975,7 @@ class Engine {
         t_.status[leave] = VarStatus::AtLower;
       }
       set_basic(enter, leave_pos, enter_value);
+      if (devex) update_devex(enter, leave, leave_pos, w[leave_pos]);
 
       // --- Update the factorization ---
       // Reinversion triggers 2-4, all deterministic (pure functions of the
@@ -793,16 +1001,26 @@ class Engine {
     out.iterations = iterations_;
     out.stats.iterations = iterations_;
     out.stats.factorizations = factorizations_;
+    out.stats.pricing_passes = pricing_passes_;
+    out.stats.partial_hits = partial_hits_;
+    out.stats.full_fallbacks = full_fallbacks_;
+    out.stats.basis_repairs = basis_repairs_;
   }
 
   SimplexOptions opt_;
   Tableau t_;
   BasisFactor factor_;
   std::vector<double> cost_;  // minimization costs over all columns
+  std::vector<double> devex_;  // devex reference weights, one per column
   double sign_ = 1.0;
   int iterations_ = 0;
   int factorizations_ = 0;
+  int basis_repairs_ = 0;
   int max_iterations_ = 0;
+  int window_start_ = 0;       // partial-pricing ring cursor
+  long pricing_passes_ = 0;    // pricing calls (one per iteration)
+  long partial_hits_ = 0;      // devex passes satisfied inside the ring
+  long full_fallbacks_ = 0;    // devex passes that walked the full ring
 };
 
 }  // namespace
@@ -956,6 +1174,12 @@ LpSolution SimplexSolver::solve(const LinearProblem& problem,
   telemetry::count("lp.solves");
   telemetry::count("lp.iterations", sol.stats.iterations);
   telemetry::count("lp.factorizations", sol.stats.factorizations);
+  telemetry::count("lp.pricing_passes", sol.stats.pricing_passes);
+  telemetry::count("lp.partial_hits", sol.stats.partial_hits);
+  telemetry::count("lp.full_fallbacks", sol.stats.full_fallbacks);
+  if (sol.stats.basis_repairs > 0) {
+    telemetry::count("lp.basis_repairs", sol.stats.basis_repairs);
+  }
   telemetry::count(warm_used ? "lp.warm_starts" : "lp.cold_starts");
   telemetry::observe("lp.solve_ms", timer.ms());
   return sol;

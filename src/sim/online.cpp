@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <stdexcept>
 #include <utility>
 
@@ -15,6 +16,70 @@ namespace {
 // event stream (FaultConfig::stream).
 constexpr std::uint64_t kRepairStream = 0x0fa2;
 constexpr std::uint64_t kSurgeStream = 0x0fa3;
+
+/// Batch mechanics shared by the fault-free and fault replay loops: the
+/// max_batch_delay deadline clock and the per-flush frame — batch index,
+/// index-addressed per-batch RNG stream, decide timing and telemetry.  The
+/// decide itself is the caller's lambda, which fills rec.accepted /
+/// rec.profit / rec.lp_stats.  The two loops used to duplicate all of this
+/// with drifted emptiness predicates (`book.size() == committed.size()` vs
+/// `pending_count() == 0`); one helper keeps the replay-clock contract —
+/// deadline flushes fire *before* the event that reveals the deadline
+/// passed, since the clock only advances on events — in a single place.
+class BatchReplay {
+ public:
+  BatchReplay(std::uint64_t seed, double max_batch_delay,
+              std::vector<BatchRecord>& batches, std::function<int()> pending,
+              std::function<void(Rng&, BatchRecord&)> decide)
+      : seed_(seed),
+        max_delay_(max_batch_delay),
+        batches_(batches),
+        pending_(std::move(pending)),
+        decide_(std::move(decide)) {}
+
+  /// Decides everything queued, appending one BatchRecord.
+  void flush(double flush_time) {
+    METIS_SPAN("online.batch");
+    BatchRecord rec;
+    rec.batch = static_cast<int>(batches_.size());
+    rec.arrivals = pending_();
+    rec.flush_time = flush_time;
+    const telemetry::Stopwatch decide_timer;
+    // Index-addressed per-batch stream: the draw sequence of batch b does
+    // not depend on how many batches preceded it, so sweeps over batch
+    // sizes stay deterministic for any thread count.
+    Rng rng = Rng(seed_).split(static_cast<std::uint64_t>(rec.batch));
+    decide_(rng, rec);
+    rec.decide_ms = decide_timer.ms();
+    telemetry::observe("online.decide_ms", rec.decide_ms);
+    telemetry::count("online.batches");
+    telemetry::gauge_set("online.profit", rec.profit);
+    batches_.push_back(std::move(rec));
+  }
+
+  /// Fires the deadline flush owed before an event at `time` advances the
+  /// clock: the oldest queued request must not wait past max_batch_delay.
+  void deadline_flush_before(double time) {
+    if (pending_() > 0 && max_delay_ > 0 &&
+        time > oldest_queued_ + max_delay_) {
+      flush(oldest_queued_ + max_delay_);
+    }
+  }
+
+  /// Notes an arrival at `time` about to join the queue (call before
+  /// enqueueing): a previously empty queue restarts the deadline clock.
+  void note_arrival(double time) {
+    if (pending_() == 0) oldest_queued_ = time;
+  }
+
+ private:
+  std::uint64_t seed_;
+  double max_delay_;
+  std::vector<BatchRecord>& batches_;
+  std::function<int()> pending_;
+  std::function<void(Rng&, BatchRecord&)> decide_;
+  double oldest_queued_ = 0;
+};
 
 }  // namespace
 
@@ -80,69 +145,50 @@ OnlineResult OnlineAdmissionSimulator::run() const {
   book.reserve(stream.size());
   core::IncrementalState state;
 
-  const auto flush = [&](double flush_time) {
-    METIS_SPAN("online.batch");
-    const int batch_index = static_cast<int>(result.batches.size());
-    const int committed_before = static_cast<int>(state.committed.size());
-    BatchRecord rec;
-    rec.batch = batch_index;
-    rec.arrivals = static_cast<int>(book.size()) - committed_before;
-    rec.flush_time = flush_time;
-
-    const telemetry::Stopwatch decide_timer;
-    core::SpmInstance instance(topo, book, config_.base.instance, cache_ptr);
-    if (!config_.cross_batch_warm_start) {
-      state.maa.clear();
-      state.taa.clear();
-    }
-    // Index-addressed per-batch stream: the draw sequence of batch b does
-    // not depend on how many batches preceded it, so the sweep over batch
-    // sizes stays deterministic for any thread count.
-    Rng rng = Rng(config_.base.seed).split(static_cast<std::uint64_t>(batch_index));
-    const core::MetisResult decided =
-        core::run_metis_incremental(instance, state, rng, config_.metis);
-    rec.decide_ms = decide_timer.ms();
-    telemetry::observe("online.decide_ms", rec.decide_ms);
-
-    // Commit this batch's decisions: accepted stays accepted, declined is
-    // final.  The committed prefix then covers the whole book.
-    for (int i = committed_before; i < static_cast<int>(book.size()); ++i) {
-      const int choice = decided.schedule.path_choice[i];
-      state.committed.push_back(choice);
-      if (choice != core::kDeclined) ++rec.accepted;
-    }
-    result.total_accepted += rec.accepted;
-    rec.profit = decided.best.profit;
-    rec.lp_stats = decided.lp_stats;
-    result.lp_stats += decided.lp_stats;
-    result.schedule = decided.schedule;
-    result.plan = decided.plan;
-    result.profit = decided.best;
-    telemetry::count("online.batches");
-    telemetry::gauge_set("online.profit", rec.profit);
-    result.batches.push_back(std::move(rec));
+  const auto pending = [&] {
+    return static_cast<int>(book.size()) -
+           static_cast<int>(state.committed.size());
   };
+  BatchReplay replay(
+      config_.base.seed, config_.max_batch_delay, result.batches, pending,
+      [&](Rng& rng, BatchRecord& rec) {
+        const int committed_before = static_cast<int>(state.committed.size());
+        core::SpmInstance instance(topo, book, config_.base.instance,
+                                   cache_ptr);
+        if (!config_.cross_batch_warm_start) {
+          state.maa.clear();
+          state.taa.clear();
+        }
+        const core::MetisResult decided =
+            core::run_metis_incremental(instance, state, rng, config_.metis);
 
-  // Arrival-ordered replay.  Deadline flushes happen *before* the arrival
-  // that reveals time has passed the oldest queued request's deadline —
-  // the simulator only advances its clock on events.
-  double oldest_queued = 0;
+        // Commit this batch's decisions: accepted stays accepted, declined
+        // is final.  The committed prefix then covers the whole book.
+        for (int i = committed_before; i < static_cast<int>(book.size());
+             ++i) {
+          const int choice = decided.schedule.path_choice[i];
+          state.committed.push_back(choice);
+          if (choice != core::kDeclined) ++rec.accepted;
+        }
+        result.total_accepted += rec.accepted;
+        rec.profit = decided.best.profit;
+        rec.lp_stats = decided.lp_stats;
+        result.lp_stats += decided.lp_stats;
+        result.schedule = decided.schedule;
+        result.plan = decided.plan;
+        result.profit = decided.best;
+      });
+
+  // Arrival-ordered replay: only arrivals advance the clock here.
   for (const workload::Arrival& a : stream) {
-    const bool pending = book.size() > state.committed.size();
-    if (pending && config_.max_batch_delay > 0 &&
-        a.arrival_time > oldest_queued + config_.max_batch_delay) {
-      flush(oldest_queued + config_.max_batch_delay);
-    }
-    if (book.size() == state.committed.size()) oldest_queued = a.arrival_time;
+    replay.deadline_flush_before(a.arrival_time);
+    replay.note_arrival(a.arrival_time);
     book.push_back(a.request);
-    if (static_cast<int>(book.size()) - static_cast<int>(state.committed.size()) >=
-        config_.batch_size) {
-      flush(a.arrival_time);
-    }
+    if (pending() >= config_.batch_size) replay.flush(a.arrival_time);
   }
   // End of cycle: whatever is still queued gets decided at the cycle edge.
-  if (book.size() > state.committed.size()) {
-    flush(static_cast<double>(config_.base.instance.num_slots));
+  if (pending() > 0) {
+    replay.flush(static_cast<double>(config_.base.instance.num_slots));
   }
 
   result.path_cache_hits = cache.hits();
@@ -177,42 +223,21 @@ OnlineResult OnlineAdmissionSimulator::run_with_faults() const {
   result.fault_events = events;
   result.total_arrivals = static_cast<int>(stream.size());
 
-  const auto flush = [&](double flush_time) {
-    METIS_SPAN("online.batch");
-    const int batch_index = static_cast<int>(result.batches.size());
-    BatchRecord rec;
-    rec.batch = batch_index;
-    rec.arrivals = book.pending_count();
-    rec.flush_time = flush_time;
-    const int accepted_before = book.accepted_count();
+  // Same per-batch stream ids and deadline clock as the fault-free replay.
+  BatchReplay replay(
+      config_.base.seed, config_.max_batch_delay, result.batches,
+      [&] { return book.pending_count(); },
+      [&](Rng& rng, BatchRecord& rec) {
+        const int accepted_before = book.accepted_count();
+        const core::MetisResult decided = book.decide_pending(rng);
+        // Net change: a repair shed inside the decide can make this
+        // negative.
+        rec.accepted = book.accepted_count() - accepted_before;
+        rec.profit = book.net_profit();
+        rec.lp_stats = decided.lp_stats;
+      });
 
-    const telemetry::Stopwatch decide_timer;
-    // Same per-batch stream ids as the fault-free replay.
-    Rng rng =
-        Rng(config_.base.seed).split(static_cast<std::uint64_t>(batch_index));
-    const core::MetisResult decided = book.decide_pending(rng);
-    rec.decide_ms = decide_timer.ms();
-    telemetry::observe("online.decide_ms", rec.decide_ms);
-
-    // Net change: a repair shed inside the decide can make this negative.
-    rec.accepted = book.accepted_count() - accepted_before;
-    rec.profit = book.net_profit();
-    rec.lp_stats = decided.lp_stats;
-    telemetry::count("online.batches");
-    telemetry::gauge_set("online.profit", rec.profit);
-    result.batches.push_back(std::move(rec));
-  };
-
-  // Merged replay: both arrivals and fault events advance the clock, and a
-  // deadline flush fires before whichever event reveals the deadline has
-  // passed (as in the fault-free replay, the clock only moves on events).
-  double oldest_queued = 0;
-  const auto deadline_flush_before = [&](double time) {
-    if (book.pending_count() > 0 && config_.max_batch_delay > 0 &&
-        time > oldest_queued + config_.max_batch_delay) {
-      flush(oldest_queued + config_.max_batch_delay);
-    }
-  };
+  // Merged replay: both arrivals and fault events advance the clock.
   std::size_t next_event = 0;
   int repair_index = 0;
   int surge_index = 0;
@@ -227,10 +252,10 @@ OnlineResult OnlineAdmissionSimulator::run_with_faults() const {
           std::min(static_cast<int>(std::floor(event.time)), num_slots - 1);
       const std::vector<workload::Request> extra =
           generator.generate_at(slot, event.surge_arrivals, surge_rng);
-      if (book.pending_count() == 0) oldest_queued = event.time;
+      replay.note_arrival(event.time);
       for (const workload::Request& r : extra) book.add_pending(r);
       result.total_arrivals += static_cast<int>(extra.size());
-      if (book.pending_count() >= config_.batch_size) flush(event.time);
+      if (book.pending_count() >= config_.batch_size) replay.flush(event.time);
       return;
     }
     // One repair stream index per network event whether or not a repair
@@ -242,21 +267,21 @@ OnlineResult OnlineAdmissionSimulator::run_with_faults() const {
   };
   const auto advance_to = [&](double time) {
     while (next_event < events.size() && events[next_event].time <= time) {
-      deadline_flush_before(events[next_event].time);
+      replay.deadline_flush_before(events[next_event].time);
       fire(events[next_event]);
       ++next_event;
     }
-    deadline_flush_before(time);
+    replay.deadline_flush_before(time);
   };
 
   for (const workload::Arrival& a : stream) {
     advance_to(a.arrival_time);
-    if (book.pending_count() == 0) oldest_queued = a.arrival_time;
+    replay.note_arrival(a.arrival_time);
     book.add_pending(a.request);
-    if (book.pending_count() >= config_.batch_size) flush(a.arrival_time);
+    if (book.pending_count() >= config_.batch_size) replay.flush(a.arrival_time);
   }
   advance_to(static_cast<double>(num_slots));
-  if (book.pending_count() > 0) flush(static_cast<double>(num_slots));
+  if (book.pending_count() > 0) replay.flush(static_cast<double>(num_slots));
 
   // The survivability contract: the final book must be feasible on the
   // mutated network — reservations only on live edges, purchases within

@@ -14,9 +14,14 @@ Summary summarize(std::span<const double> values) {
 
 double percentile(std::span<const double> values, double p) {
   if (values.empty()) throw std::invalid_argument("percentile: empty sample");
-  if (p < 0 || p > 100) throw std::invalid_argument("percentile: p out of range");
   std::vector<double> sorted(values.begin(), values.end());
   std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, p);
+}
+
+double percentile_sorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (p < 0 || p > 100) throw std::invalid_argument("percentile: p out of range");
   if (sorted.size() == 1) return sorted.front();
   const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);

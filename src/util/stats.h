@@ -23,6 +23,11 @@ Summary summarize(std::span<const double> values);
 /// Linear-interpolation percentile, p in [0,100].  Requires non-empty input.
 double percentile(std::span<const double> values, double p);
 
+/// Same interpolation over input that is ALREADY sorted ascending (not
+/// checked).  Lets callers answering several percentile queries over one
+/// sample sort once instead of once per query.
+double percentile_sorted(std::span<const double> sorted, double p);
+
 /// Incremental mean/variance accumulator (Welford).
 class Accumulator {
  public:

@@ -134,6 +134,18 @@ double Histogram::percentile(double p) const {
   return metis::percentile(samples_, p);
 }
 
+std::vector<double> Histogram::percentiles(std::span<const double> ps) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<double> out(ps.size(), 0.0);
+  if (samples_.empty()) return out;
+  std::vector<double> sorted(samples_);
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    out[i] = metis::percentile_sorted(sorted, ps[i]);
+  }
+  return out;
+}
+
 std::vector<std::uint64_t> Histogram::bucket_counts() const {
   std::lock_guard<std::mutex> lock(mu_);
   return buckets_;
@@ -302,14 +314,16 @@ void Registry::write_json(std::ostream& os) const {
     write_json_number(os, h.max());
     os << ",\"mean\":";
     write_json_number(os, h.mean());
+    static constexpr double kExportPcts[] = {50, 90, 95, 99};
+    const std::vector<double> pct = h.percentiles(kExportPcts);
     os << ",\"p50\":";
-    write_json_number(os, h.percentile(50));
+    write_json_number(os, pct[0]);
     os << ",\"p90\":";
-    write_json_number(os, h.percentile(90));
+    write_json_number(os, pct[1]);
     os << ",\"p95\":";
-    write_json_number(os, h.percentile(95));
+    write_json_number(os, pct[2]);
     os << ",\"p99\":";
-    write_json_number(os, h.percentile(99));
+    write_json_number(os, pct[3]);
     os << ",\"buckets\":[";
     const auto& bounds = h.bucket_bounds();
     const auto counts = h.bucket_counts();
@@ -374,9 +388,11 @@ std::string Registry::to_table() const {
   }
   if (!i->histograms.empty()) {
     TablePrinter t({"histogram", "count", "mean", "p50", "p95", "max"});
+    static constexpr double kTablePcts[] = {50, 95};
     for (const auto& [name, h] : i->histograms) {
-      t.add_row({name, static_cast<long long>(h.count()), h.mean(),
-                 h.percentile(50), h.percentile(95), h.max()});
+      const std::vector<double> pct = h.percentiles(kTablePcts);
+      t.add_row({name, static_cast<long long>(h.count()), h.mean(), pct[0],
+                 pct[1], h.max()});
     }
     out << t.to_string() << '\n';
   }

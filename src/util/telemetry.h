@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -122,6 +123,11 @@ class Histogram {
   /// Exact linear-interpolation percentile of everything observed, p in
   /// [0, 100]; returns 0 when empty.
   double percentile(double p) const;
+  /// Batched percentile queries: one result per entry of `ps`, identical to
+  /// calling percentile() per entry but with a single lock acquisition and
+  /// a single sort of the sample — the exporters ask for four percentiles
+  /// per histogram, which used to cost four lock/sort rounds each.
+  std::vector<double> percentiles(std::span<const double> ps) const;
   const std::vector<double>& bucket_bounds() const { return bounds_; }
   /// Bucket counts, size bounds.size() + 1 (last = overflow).
   std::vector<std::uint64_t> bucket_counts() const;
@@ -243,6 +249,9 @@ class Histogram {
   double mean() const { return 0; }
   double sum() const { return 0; }
   double percentile(double) const { return 0; }
+  std::vector<double> percentiles(std::span<const double> ps) const {
+    return std::vector<double>(ps.size(), 0.0);
+  }
   const std::vector<double>& bucket_bounds() const {
     static const std::vector<double> kEmpty;
     return kEmpty;

@@ -212,6 +212,39 @@ TEST(Estimator, RejectsShapeMismatch) {
                std::invalid_argument);
 }
 
+TEST(Estimator, SaturatedExponentsStayFiniteAndComparable) {
+  // Regression for safe_exp's saturation cap.  It used to be the literal
+  // 11000.0L, which is only below the overflow point of 80-bit x87 long
+  // double; on platforms where long double is IEEE binary64 (MSVC, AArch64
+  // macOS) exp(11000) is inf, and the incremental candidate updates then
+  // compute inf - inf = NaN, destroying the conditional-probability walk.
+  // The cap is now derived from numeric_limits<long double>::max(), so an
+  // exponent far beyond any representable overflow point must still yield
+  // values that are never NaN, and a whole derandomized walk must stay
+  // well-defined.
+  Fixture f = make_fixture(23, 6);
+  f.config.t0 = 2e4;  // t0 * i_b beyond log(max) of every long double format
+  f.config.i_b = 1.0;
+  PessimisticEstimator est(f.instance, f.caps, f.x_hat, f.accepted, f.config);
+  EXPECT_FALSE(std::isnan(est.value()));
+  EXPECT_GT(est.value(), 0);
+  for (int i = 0; i < f.instance.num_requests(); ++i) {
+    double best = est.candidate_value(i, kDeclined);
+    int best_choice = kDeclined;
+    ASSERT_FALSE(std::isnan(best)) << "request " << i << " declined";
+    for (int j = 0; j < f.instance.num_paths(i); ++j) {
+      const double u = est.candidate_value(i, j);
+      ASSERT_FALSE(std::isnan(u)) << "request " << i << " choice " << j;
+      if (u < best) {
+        best = u;
+        best_choice = j;
+      }
+    }
+    est.fix(i, best_choice);
+    ASSERT_FALSE(std::isnan(est.value())) << "after fixing request " << i;
+  }
+}
+
 TEST(Estimator, NonParticipantsContributeNothing) {
   Fixture f = make_fixture(19, 6);
   // Exclude half the requests; their x_hat content must be irrelevant.

@@ -396,5 +396,41 @@ TEST(BasisLift, GrownBlSpmLiftMatchesColdObjective) {
   EXPECT_LE(rel_diff(warm.objective, cold.objective), kTol);
 }
 
+TEST(WarmStart, DegenerateTiedRatiosStayPrimalFeasible) {
+  // Regression for the textbook ratio test's tie band.  The old one-pass
+  // rule banded candidates against the *running* minimum with the
+  // feasibility tolerance, so a row scanned early whose ratio is within
+  // tol of (but above) the true minimum could keep the leaving position
+  // while a later, strictly smaller ratio went unrecorded — the step then
+  // overdrives the true blocker through its bound by up to tol * |coef|.
+  //
+  // Construction: maximize x with two near-tied blocking rows.  Row 0
+  // (smaller slack column, scanned first) has ratio 1 + 0.9e-7; row 1 has
+  // the true minimum ratio 1.0 with coefficient 1000.  Under the old rule
+  // the step is 1 + 0.9e-7 and row 1's activity ends at 1000.00009 —
+  // a 9e-5 primal violation that survives refactorization.  The two-pass
+  // rule anchors the tie band (kTieTol-sized) at the final minimum, steps
+  // exactly 1.0 and keeps the point feasible.  Warm-started from the slack
+  // basis so presolve cannot reduce the crafted rows away; harris = false
+  // exercises the textbook path.
+  LinearProblem p(Sense::Maximize);
+  const int x = p.add_variable(0.0, 10.0, 1.0, "x");
+  p.add_row(RowType::LessEqual, 1.0 + 0.9e-7, {{x, 1.0}});
+  p.add_row(RowType::LessEqual, 1000.0, {{x, 1000.0}});
+
+  SimplexOptions options;
+  options.harris = false;
+  Basis slack_basis;
+  slack_basis.status = {BasisStatus::AtLower,  // x at 0
+                        BasisStatus::Basic, BasisStatus::Basic};
+  const LpSolution sol =
+      SimplexSolver(options).solve(p, &slack_basis);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol.stats.warm_starts, 1);
+  EXPECT_NEAR(sol.objective, 1.0, kTol);
+  // The binding row must not be overdriven: activity <= rhs + kFeasTol.
+  EXPECT_LE(1000.0 * sol.x[x], 1000.0 + num::kFeasTol);
+}
+
 }  // namespace
 }  // namespace metis::lp

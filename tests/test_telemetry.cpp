@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "util/parallel.h"
+#include "util/rng.h"
 #include "util/stats.h"
 
 namespace {
@@ -206,6 +207,26 @@ TEST(Telemetry, HistogramExactPercentiles) {
   }
 }
 
+TEST(Telemetry, BatchedPercentilesMatchSingleQueries) {
+  // percentiles() answers many queries with one lock + one sort; the
+  // exporters rely on it being bit-identical to per-query percentile().
+  Registry reg;
+  telemetry::Histogram& h = reg.histogram("hp");
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) h.observe(rng.uniform(0.0, 250.0));
+  const std::vector<double> ps = {0, 25, 50, 90, 95, 99, 100};
+  const std::vector<double> batched = h.percentiles(ps);
+  ASSERT_EQ(batched.size(), ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batched[i], h.percentile(ps[i])) << "p=" << ps[i];
+  }
+  // Empty histogram: zeros, same shape.
+  telemetry::Histogram& empty = reg.histogram("hp_empty");
+  const std::vector<double> zeros = empty.percentiles(ps);
+  ASSERT_EQ(zeros.size(), ps.size());
+  for (double z : zeros) EXPECT_EQ(z, 0.0);
+}
+
 TEST(Telemetry, HistogramBucketsIncludeOverflow) {
   Registry reg;
   telemetry::Histogram& h = reg.histogram("hb", {1.0, 10.0});
@@ -335,6 +356,9 @@ TEST(TelemetryDisabled, StubsAreInertButCallable) {
   { ScopedSpan span("a"); (void)span; }
   EXPECT_EQ(reg.counter("nope").value(), 0);
   EXPECT_EQ(reg.histogram("nope").count(), 0u);
+  const std::vector<double> ps = {50, 95};
+  EXPECT_EQ(reg.histogram("nope").percentiles(ps),
+            std::vector<double>(ps.size(), 0.0));
   EXPECT_EQ(reg.span("a/b").count, 0u);
   EXPECT_TRUE(reg.span_paths().empty());
   EXPECT_EQ(reg.to_json(), "{\"telemetry\":false}");

@@ -10,7 +10,10 @@
 set -u
 cd "$(dirname "$0")/.."
 
-GATED_DIRS="src/lp src/core"
+# src/lp covers the simplex pricing/ratio-test/factorization code; the
+# simulation, network and baseline layers ride along now that they are
+# clean too.
+GATED_DIRS="src/lp src/core src/sim src/net src/workload src/baselines"
 
 matches=$(grep -rnE '[0-9][eE]-[0-9]' $GATED_DIRS || true)
 if [ -n "$matches" ]; then
