@@ -3,7 +3,9 @@
 // The paper decides one cycle in isolation; this table shows how its
 // per-cycle gaps (Fig. 3/5) compound over a year of operation.
 #include <iostream>
+#include <string>
 
+#include "core/metis.h"
 #include "sim/simulator.h"
 #include "bench_util.h"
 #include "util/table.h"
@@ -12,6 +14,9 @@ int main(int argc, char** argv) {
   using namespace metis;
   const bool csv = bench::csv_mode(argc, argv);
   const std::string telemetry_path = bench::take_telemetry_json_arg(argc, argv);
+  // `--shards N` routes the Metis policy through the sharded decomposition
+  // (core/coordinate.h); 1 (default) is the monolithic solve, bit for bit.
+  const int shards = bench::take_shards_arg(argc, argv);
   sim::SimulationConfig config;
   config.base.network = sim::Network::B4;
   config.base.num_requests = 150;
@@ -20,9 +25,13 @@ int main(int argc, char** argv) {
   config.demand_growth = 0.15;
 
   std::cout << "=== Extension: cumulative profit over " << config.cycles
-            << " billing cycles (B4, demand +15%/cycle) ===\n\n";
+            << " billing cycles (B4, demand +15%/cycle"
+            << (shards > 1 ? ", Metis sharded K=" + std::to_string(shards) : "")
+            << ") ===\n\n";
+  core::MetisOptions metis_options;
+  metis_options.shards = shards;
   const sim::BillingCycleSimulator simulator(config);
-  const auto outcomes = simulator.run(sim::standard_policies());
+  const auto outcomes = simulator.run(sim::standard_policies(metis_options));
 
   TablePrinter cycles({"cycle", "offered", "accept-all", "EcoFlow", "Metis"});
   for (int cycle = 0; cycle < config.cycles; ++cycle) {

@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/coordinate.h"
 #include "util/log.h"
 #include "util/numeric.h"
 #include "util/telemetry.h"
@@ -413,12 +414,14 @@ MetisResult run_metis_impl(const SpmInstance& instance, Rng& rng,
 
 MetisResult run_metis(const SpmInstance& instance, Rng& rng,
                       const MetisOptions& options) {
+  if (options.shards > 1) return run_metis_sharded(instance, nullptr, rng, options);
   return run_metis_impl(instance, rng, options, nullptr);
 }
 
 MetisResult run_metis_incremental(const SpmInstance& instance,
                                   IncrementalState& state, Rng& rng,
                                   const MetisOptions& options) {
+  if (options.shards > 1) return run_metis_sharded(instance, &state, rng, options);
   return run_metis_impl(instance, rng, options, &state);
 }
 

@@ -20,6 +20,7 @@
 #include "core/lp_builder.h"
 #include "core/maa.h"
 #include "core/schedule.h"
+#include "core/shard.h"
 #include "core/taa.h"
 #include "util/rng.h"
 
@@ -70,6 +71,17 @@ struct MetisOptions {
   /// away from links a fault shrank or killed.  nullptr (the default) is
   /// the historical uncapacitated loop, byte for byte.
   const std::vector<int>* edge_capacity = nullptr;
+  /// Scenario decomposition (core/shard.h, core/coordinate.h): partition
+  /// the DCs into this many shards, solve them concurrently, and reconcile
+  /// the shared WAN links with a bounded dual-price loop.  1 (the default)
+  /// is the monolithic solve, bit for bit; > 1 routes run_metis /
+  /// run_metis_incremental through run_metis_sharded, which itself falls
+  /// back to the monolithic path (also bit-identically) when the cut is
+  /// too dense or coordination fails — see MetisResult::shard.
+  int shards = 1;
+  /// Knobs of the coordination loop (rounds, gap tolerances, fallback
+  /// thresholds, solver threads); ignored when shards == 1.
+  ShardOptions shard;
 };
 
 /// One loop's bookkeeping (for convergence plots and the theta ablation).
@@ -94,6 +106,9 @@ struct MetisResult {
   lp::SolveStatus taa_status = lp::SolveStatus::NotSolved;
   /// LP work aggregated over every relaxation solved by the loop.
   lp::SolveStats lp_stats;
+  /// What the sharded path did (rounds, duality gap, fallback) when
+  /// MetisOptions::shards > 1; default-constructed for monolithic runs.
+  ShardInfo shard;
 };
 
 /// BW Limiter: among edges with plan.units above their floor, reduces the

@@ -1,0 +1,219 @@
+#include "core/shard.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace metis::core {
+
+namespace {
+
+constexpr int kUnassigned = -1;
+constexpr int kInfHops = std::numeric_limits<int>::max();
+
+/// Undirected adjacency over enabled edges (directed pairs collapse).
+std::vector<std::vector<int>> build_adjacency(const net::Topology& topo) {
+  std::vector<std::vector<int>> adj(topo.num_nodes());
+  for (net::EdgeId e = 0; e < topo.num_edges(); ++e) {
+    if (!topo.edge_enabled(e)) continue;
+    const net::Edge& edge = topo.edge(e);
+    adj[edge.src].push_back(edge.dst);
+    adj[edge.dst].push_back(edge.src);
+  }
+  for (auto& neighbors : adj) {
+    std::sort(neighbors.begin(), neighbors.end());
+    neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                    neighbors.end());
+  }
+  return adj;
+}
+
+/// Relaxes `dist` (min hops to any seed so far) with a BFS from `source`.
+void relax_from(const std::vector<std::vector<int>>& adj, int source,
+                std::vector<int>& dist) {
+  std::deque<int> queue;
+  if (dist[source] > 0) dist[source] = 0;
+  queue.push_back(source);
+  std::vector<int> local(adj.size(), kInfHops);
+  local[source] = 0;
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop_front();
+    for (int v : adj[u]) {
+      if (local[v] != kInfHops) continue;
+      local[v] = local[u] + 1;
+      dist[v] = std::min(dist[v], local[v]);
+      queue.push_back(v);
+    }
+  }
+}
+
+/// Farthest-point seed set: start at node 0, then repeatedly add the node
+/// maximizing the hop distance to the nearest existing seed (unreachable
+/// nodes count as infinitely far, so disconnected components get their own
+/// seeds first).  Ties resolve to the lowest node id.
+std::vector<int> pick_seeds(const std::vector<std::vector<int>>& adj, int k) {
+  const int n = static_cast<int>(adj.size());
+  std::vector<int> dist(n, kInfHops);
+  std::vector<int> seeds;
+  seeds.push_back(0);
+  relax_from(adj, 0, dist);
+  while (static_cast<int>(seeds.size()) < k) {
+    int best = -1;
+    for (int v = 0; v < n; ++v) {
+      if (dist[v] == 0) continue;  // already a seed
+      if (best == -1 || dist[v] > dist[best]) best = v;
+    }
+    if (best == -1) break;  // fewer nodes than shards (caller clamped, but
+                            // isolated duplicates can still run short)
+    seeds.push_back(best);
+    relax_from(adj, best, dist);
+  }
+  return seeds;
+}
+
+/// Balanced region growth: repeatedly expands the smallest shard by one
+/// node from its BFS frontier.  Unreachable leftovers are seeded into the
+/// smallest shard directly, so every node ends up assigned.
+void grow_regions(const std::vector<std::vector<int>>& adj,
+                  const std::vector<int>& seeds, std::vector<int>& node_shard,
+                  std::vector<int>& shard_size) {
+  const int n = static_cast<int>(adj.size());
+  const int k = static_cast<int>(seeds.size());
+  std::vector<std::deque<int>> frontier(k);
+  int assigned = 0;
+  for (int s = 0; s < k; ++s) {
+    node_shard[seeds[s]] = s;
+    ++shard_size[s];
+    frontier[s].push_back(seeds[s]);
+    ++assigned;
+  }
+  auto smallest_shard = [&](bool need_frontier) {
+    int pick = -1;
+    for (int s = 0; s < k; ++s) {
+      if (need_frontier && frontier[s].empty()) continue;
+      if (pick == -1 || shard_size[s] < shard_size[pick]) pick = s;
+    }
+    return pick;
+  };
+  while (assigned < n) {
+    const int s = smallest_shard(/*need_frontier=*/true);
+    if (s == -1) {
+      // Disconnected remainder: hand the lowest unassigned node to the
+      // smallest shard and keep growing from there.
+      int v = 0;
+      while (node_shard[v] != kUnassigned) ++v;
+      const int target = smallest_shard(/*need_frontier=*/false);
+      node_shard[v] = target;
+      ++shard_size[target];
+      frontier[target].push_back(v);
+      ++assigned;
+      continue;
+    }
+    const int u = frontier[s].front();
+    int grabbed = kUnassigned;
+    for (int v : adj[u]) {
+      if (node_shard[v] == kUnassigned) {
+        grabbed = v;
+        break;
+      }
+    }
+    if (grabbed == kUnassigned) {
+      frontier[s].pop_front();  // u fully surrounded; retire it
+      continue;
+    }
+    node_shard[grabbed] = s;
+    ++shard_size[s];
+    frontier[s].push_back(grabbed);
+    ++assigned;
+  }
+}
+
+/// One deterministic boundary sweep: move a node to the neighboring shard
+/// holding strictly more of its links, provided the move keeps its current
+/// shard non-empty and respects a 2x balance cap.  Reduces the number of
+/// cut links; a single sweep is enough on WAN-sized graphs.
+void refine_cut(const std::vector<std::vector<int>>& adj,
+                std::vector<int>& node_shard, std::vector<int>& shard_size) {
+  const int n = static_cast<int>(adj.size());
+  const int k = static_cast<int>(shard_size.size());
+  const int balance_cap = 2 * ((n + k - 1) / k);
+  std::vector<int> weight(k, 0);
+  for (int v = 0; v < n; ++v) {
+    const int cur = node_shard[v];
+    if (shard_size[cur] <= 1) continue;
+    std::fill(weight.begin(), weight.end(), 0);
+    for (int u : adj[v]) ++weight[node_shard[u]];
+    int best = cur;
+    for (int s = 0; s < k; ++s) {
+      if (s == cur || shard_size[s] + 1 > balance_cap) continue;
+      if (weight[s] > weight[best]) best = s;
+    }
+    if (best != cur) {
+      node_shard[v] = best;
+      --shard_size[cur];
+      ++shard_size[best];
+    }
+  }
+}
+
+}  // namespace
+
+ShardPlan partition_instance(const SpmInstance& instance, int shards) {
+  const net::Topology& topo = instance.topology();
+  const int n = topo.num_nodes();
+  if (n <= 0) throw std::invalid_argument("partition_instance: empty topology");
+  const int k = std::clamp(shards, 1, n);
+
+  ShardPlan plan;
+  plan.node_shard.assign(n, kUnassigned);
+
+  if (k <= 1) {
+    plan.num_shards = 1;
+    std::fill(plan.node_shard.begin(), plan.node_shard.end(), 0);
+  } else {
+    const auto adj = build_adjacency(topo);
+    const auto seeds = pick_seeds(adj, k);
+    std::vector<int> shard_size(seeds.size(), 0);
+    grow_regions(adj, seeds, plan.node_shard, shard_size);
+    refine_cut(adj, plan.node_shard, shard_size);
+    plan.num_shards = static_cast<int>(seeds.size());
+  }
+
+  const int num_requests = instance.num_requests();
+  plan.request_shard.resize(num_requests);
+  plan.shard_requests.assign(plan.num_shards, {});
+  for (int i = 0; i < num_requests; ++i) {
+    const int s = plan.node_shard[instance.request(i).src];
+    plan.request_shard[i] = s;
+    plan.shard_requests[s].push_back(i);  // i ascending: prefix order kept
+  }
+
+  // Shared-edge detection over the *candidate* paths (not the raw graph):
+  // an edge no candidate path can use needs no coordination even if it
+  // crosses the node cut.
+  std::vector<int> first_user(topo.num_edges(), kUnassigned);
+  plan.edge_shared.assign(topo.num_edges(), false);
+  for (int i = 0; i < num_requests; ++i) {
+    const int s = plan.request_shard[i];
+    for (const net::Path& path : instance.paths(i)) {
+      for (net::EdgeId e : path.edges) {
+        if (first_user[e] == kUnassigned) {
+          first_user[e] = s;
+        } else if (first_user[e] != s) {
+          plan.edge_shared[e] = true;
+        }
+      }
+    }
+  }
+  for (net::EdgeId e = 0; e < topo.num_edges(); ++e) {
+    plan.used_edges += first_user[e] != kUnassigned ? 1 : 0;
+    plan.shared_edges += plan.edge_shared[e] ? 1 : 0;
+  }
+  plan.cut_fraction =
+      static_cast<double>(plan.shared_edges) / std::max(1, plan.used_edges);
+  return plan;
+}
+
+}  // namespace metis::core

@@ -1,0 +1,101 @@
+// Sharded scenario decomposition: partition the WAN's datacenters into K
+// shards with a deterministic edge-cut heuristic, assign each request to the
+// shard owning its source DC, and identify the cross-shard ("shared") links
+// whose charging the shards must coordinate on.
+//
+// The partition is pure graph work — no LP, no randomness.  Given the same
+// topology and K it always produces the same ShardPlan, which is what makes
+// the coordinated solve (core/coordinate.h) reproducible for any thread
+// count: every shard's sub-problem is fixed before any solver runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace metis::core {
+
+/// Knobs of the dual-price coordination loop (core/coordinate.h).  The
+/// defaults aim at K in {2, 4} on B4-sized WANs; `MetisOptions::shards`
+/// selects K itself.
+struct ShardOptions {
+  /// Coordination rounds: each round solves every shard against the current
+  /// link prices, combines, repairs, and updates the prices.  Round 0 runs
+  /// at the true prices, so max_rounds == 1 is "solve shards once and
+  /// reconcile greedily" with no dual updates.
+  int max_rounds = 4;
+  /// Stop early once the relative duality gap (believed shard profit sum vs
+  /// realized combined profit) falls to this.
+  double gap_tol = 0.01;
+  /// Subgradient step for the price update, damped by 1/(round+1).
+  double step = 1.0;
+  /// Never discount a shared link below this fraction of its true price:
+  /// a near-zero coordination price would invite every shard to over-accept
+  /// onto the link at once.
+  double min_price_factor = 0.25;
+  /// Fall back to the monolithic solve up front when more than this
+  /// fraction of the candidate-path edges is shared between shards — a cut
+  /// that dense means the partition decomposed nothing.  Empirically the
+  /// gray zone starts just below 0.9: on B4 a 0.895 cut converges its
+  /// duality gap yet lands a few percent short of monolithic profit, while
+  /// cuts under ~0.75 coordinate at parity or better — so the default
+  /// refuses the zone where convergence stops implying profit parity.
+  double max_cut_fraction = 0.85;
+  /// Fall back after the loop when the final duality gap still exceeds
+  /// this (coordination failed to reconcile the shards).
+  double fallback_gap = 0.5;
+  /// Worker threads for the concurrent shard solves (0 = all hardware
+  /// threads).  Purely a wall-clock knob: results are bit-identical for
+  /// every value at fixed K.
+  int threads = 0;
+};
+
+/// What the coordinated solve actually did — attached to MetisResult so
+/// callers (and the shard benches/tests) can tell a sharded decision from a
+/// fallback without re-deriving it.
+struct ShardInfo {
+  /// True when the dual-price coordination produced the returned decision.
+  bool sharded = false;
+  /// True when shards were requested (> 1) but the monolithic path ran —
+  /// see `fallback_reason`.
+  bool fell_back = false;
+  std::string fallback_reason;  ///< empty unless fell_back
+  int shards_requested = 1;     ///< MetisOptions::shards as passed in
+  int shards_used = 0;          ///< shards holding at least one request
+  int rounds = 0;               ///< coordination rounds executed
+  double duality_gap = 0;       ///< final round's relative gap
+  double cut_fraction = 0;      ///< shared / used candidate-path edges
+  std::vector<double> round_gaps;  ///< gap after each round, in order
+};
+
+/// A K-way partition of one instance.
+struct ShardPlan {
+  int num_shards = 0;
+  /// Owning shard per DC (size num_nodes).
+  std::vector<int> node_shard;
+  /// Owning shard per request — its source DC's shard (size num_requests).
+  std::vector<int> request_shard;
+  /// Original request ids per shard, ascending (arrival order preserved, so
+  /// a committed prefix of the instance stays a committed prefix of every
+  /// shard's sub-instance).
+  std::vector<std::vector<int>> shard_requests;
+  /// Per edge: true when candidate paths of requests from two or more
+  /// different shards traverse it (size num_edges).  These are the links
+  /// the dual-price loop coordinates on; every other edge is priced and
+  /// charged by exactly one shard.
+  std::vector<bool> edge_shared;
+  int used_edges = 0;    ///< edges on at least one candidate path
+  int shared_edges = 0;  ///< used edges with edge_shared set
+  double cut_fraction = 0;  ///< shared_edges / max(1, used_edges)
+};
+
+/// Deterministic K-way edge-cut partition of the instance's WAN:
+/// farthest-point seed selection (BFS hop distance, lowest-id ties) followed
+/// by balanced region growth from the seeds and one boundary-refinement
+/// sweep that moves a node to the neighboring shard holding most of its
+/// links when that strictly reduces the cut.  `shards` is clamped to
+/// [1, num_nodes].  Pure function of (topology, requests, shards).
+ShardPlan partition_instance(const SpmInstance& instance, int shards);
+
+}  // namespace metis::core

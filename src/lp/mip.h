@@ -25,7 +25,11 @@
 
 namespace metis::lp {
 
+/// Limits and tolerances of the branch & bound search.
 struct MipOptions {
+  /// A relaxation value within this of an integer counts as integral (both
+  /// for branching-variable selection and for accepting an LP optimum as an
+  /// incumbent).
   double integrality_tol = num::kIntegralityTol;
   /// Stop when |incumbent - bound| / max(1,|incumbent|) <= gap_tol.
   double gap_tol = num::kOptTol;
@@ -34,12 +38,17 @@ struct MipOptions {
   /// the two checks used to disagree by an order of magnitude, so a point
   /// could seed the incumbent from outside but not from the rounding path.
   double feas_tol = num::kOptTol;
+  /// Node budget for the best-first search; the best incumbent found and
+  /// the proven bound are returned either way (status NodeLimit).
   long max_nodes = 200000;
   /// Wall-clock budget in seconds; <= 0 means unlimited.
   double time_limit_seconds = 0;
+  /// Options of the relaxation solves at every node.
   SimplexOptions lp;
 };
 
+/// Best-first branch & bound over SimplexSolver relaxations (see the file
+/// comment).  Stateless apart from its options.
 class MipSolver {
  public:
   explicit MipSolver(MipOptions options = {}) : options_(options) {}

@@ -25,7 +25,11 @@
 
 namespace metis::lp {
 
+/// The reduced problem plus everything needed to lift a reduced-space
+/// solution, dual vector or basis back to the original problem (see the
+/// file comment for the reduction rules).
 struct PresolveResult {
+  /// The problem after all reductions; solve this instead of the original.
   LinearProblem reduced;
   /// Early verdicts.  When either flag is set, `reduced` is meaningless.
   bool infeasible = false;

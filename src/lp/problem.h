@@ -18,7 +18,9 @@
 
 namespace metis::lp {
 
+/// Objective direction of a LinearProblem.
 enum class Sense { Minimize, Maximize };
+/// Relation of a constraint row's activity to its right-hand side.
 enum class RowType { LessEqual, GreaterEqual, Equal };
 
 /// One nonzero of a row: coefficient `coef` on column `col`.
@@ -27,13 +29,18 @@ struct RowEntry {
   double coef = 0;
 };
 
+/// One sparse constraint row: a_k^T x {<=, >=, =} rhs.
 struct Row {
   RowType type = RowType::LessEqual;
   double rhs = 0;
-  std::vector<RowEntry> entries;
-  std::string name;
+  std::vector<RowEntry> entries;  ///< the nonzeros of a_k, any column order
+  std::string name;               ///< optional label for diagnostics
 };
 
+/// The solver-agnostic column/row model (see the file comment for the
+/// canonical form).  Columns are appended by add_variable, rows by add_row;
+/// both are stable indices that SimplexSolver/MipSolver solutions, Basis
+/// snapshots and ModelSnapshot mappings refer to.
 class LinearProblem {
  public:
   explicit LinearProblem(Sense sense = Sense::Minimize) : sense_(sense) {}

@@ -63,6 +63,10 @@ namespace metis::lp {
 /// warm/cold decision equality and thread invariance are unchanged.
 enum class PricingRule { Dantzig, Devex };
 
+/// Knobs of the sparse revised simplex.  The defaults are the production
+/// configuration every solver in the repo runs with; tests flip individual
+/// toggles (harris, pricing, presolve) to cross-check code paths against
+/// each other.
 struct SimplexOptions {
   /// 0 means automatic: 200 * (rows + cols) + 2000.
   int max_iterations = 0;
@@ -105,6 +109,9 @@ struct SimplexOptions {
   int pricing_window = 0;
 };
 
+/// The two-phase primal simplex method over LinearProblem (see the file
+/// comment for the design).  Stateless apart from its options: solve() may
+/// be called repeatedly and from multiple threads concurrently.
 class SimplexSolver {
  public:
   explicit SimplexSolver(SimplexOptions options = {}) : options_(options) {}

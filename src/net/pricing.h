@@ -14,14 +14,17 @@
 
 namespace metis::net {
 
+/// Transit-market region of a data center, in decreasing order of
+/// bandwidth-price competitiveness (see relative_price).
 enum class Region {
-  NorthAmerica,
-  Europe,
-  Asia,
-  SouthAmerica,
-  Oceania,
+  NorthAmerica,  ///< baseline price 1.0
+  Europe,        ///< baseline price 1.0
+  Asia,          ///< several times the baseline
+  SouthAmerica,  ///< the most expensive transit market
+  Oceania,       ///< between Asia and South America
 };
 
+/// Human-readable region name ("NorthAmerica", ...).
 std::string to_string(Region region);
 
 /// Relative price of one bandwidth unit terminating in `region`

@@ -15,12 +15,15 @@
 
 namespace metis::net {
 
+/// Shape of the generated WAN (see the file comment for the model).
 struct RandomWanConfig {
   int num_nodes = 10;
   /// Waxman parameters: larger alpha favours long links, larger beta raises
   /// overall edge density.
   double alpha = 0.4;
   double beta = 0.6;
+  /// Per-link prices are drawn uniformly from [min_price, max_price] —
+  /// defaults span the regional factors of net/pricing.h.
   double min_price = 1.0;
   double max_price = 6.5;
 };

@@ -17,6 +17,7 @@ namespace metis::net {
 using NodeId = int;
 using EdgeId = int;
 
+/// One directed link of the WAN.
 struct Edge {
   NodeId src = 0;
   NodeId dst = 0;
@@ -31,6 +32,9 @@ struct Edge {
   bool enabled = true;
 };
 
+/// The directed WAN graph (see the file comment).  Edge ids are stable
+/// append order; every mutation that can affect path search or charging
+/// bumps epoch(), which PathCache uses for invalidation.
 class Topology {
  public:
   explicit Topology(int num_nodes);

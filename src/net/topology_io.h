@@ -16,10 +16,12 @@ namespace metis::net {
 
 /// Parses a topology; throws std::runtime_error with a line number on error.
 Topology read_topology(std::istream& in);
+/// File variant of read_topology; also throws when the file cannot be opened.
 Topology read_topology_file(const std::string& path);
 
 /// Writes the `edge` form (directed, exact round-trip).
 void write_topology(std::ostream& out, const Topology& topo);
+/// File variant of write_topology; throws when the file cannot be opened.
 void write_topology_file(const std::string& path, const Topology& topo);
 
 }  // namespace metis::net
