@@ -118,8 +118,9 @@ void write_baseline_json(const std::string& path, const sim::Scenario& scenario,
   if (!os) throw std::runtime_error("cannot open baseline output: " + path);
   os << std::setprecision(15);
   os << "{\n";
-  os << "  \"scenario\": {\"network\": \"" << to_string(scenario.network)
-     << "\", \"requests\": " << scenario.num_requests
+  os << "  \"scenario\": {\"network\": "
+     << bench::json_str(to_string(scenario.network))
+     << ", \"requests\": " << scenario.num_requests
      << ", \"seed\": " << scenario.seed << ", \"trials\": " << trials
      << "},\n";
   os << "  \"fault_free\": {\"profit\": " << decision.best.profit
@@ -130,10 +131,10 @@ void write_baseline_json(const std::string& path, const sim::Scenario& scenario,
     os << "    {\"rate\": " << row.rate;
     for (int p = 0; p < 2; ++p) {
       const PolicyCell& cell = row.cell[p];
-      os << ",\n     \""
-         << to_string(p ? sim::RepairPolicy::Reroute
-                        : sim::RepairPolicy::DropAffected)
-         << "\": {\"net_profit\": " << cell.net_profit
+      os << ",\n     "
+         << bench::json_str(to_string(p ? sim::RepairPolicy::Reroute
+                                        : sim::RepairPolicy::DropAffected))
+         << ": {\"net_profit\": " << cell.net_profit
          << ", \"retention\": " << cell.retention
          << ", \"refunds\": " << cell.refunds
          << ", \"victims\": " << cell.stats.victims

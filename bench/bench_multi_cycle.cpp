@@ -2,31 +2,53 @@
 // billing cycles with compounding demand growth (BillingCycleSimulator).
 // The paper decides one cycle in isolation; this table shows how its
 // per-cycle gaps (Fig. 3/5) compound over a year of operation.
+//
+// Checkpointing (src/persist/): `--checkpoint-every N --checkpoint-path P`
+// snapshots the finished cycle grid after every N cycles; `--resume P`
+// restarts from a snapshot and replays only the remaining cycles, with
+// totals byte-identical to the uninterrupted run.
 #include <iostream>
 #include <string>
 
 #include "core/metis.h"
 #include "sim/simulator.h"
 #include "bench_util.h"
+#include "util/args.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace metis;
-  const bool csv = bench::csv_mode(argc, argv);
-  const std::string telemetry_path = bench::take_telemetry_json_arg(argc, argv);
+  ArgParser args(argc, argv);
+  const bool csv = args.get_bool("csv", false);
+  const std::string telemetry_path = args.get("telemetry-json", "");
   // `--shards N` routes the Metis policy through the sharded decomposition
   // (core/coordinate.h); 1 (default) is the monolithic solve, bit for bit.
-  const int shards = bench::take_shards_arg(argc, argv);
+  const int shards = args.get_int("shards", 1);
   sim::SimulationConfig config;
   config.base.network = sim::Network::B4;
-  config.base.num_requests = 150;
-  config.base.seed = 1;
-  config.cycles = 6;
+  config.base.num_requests = args.get_int("requests", 150);
+  config.base.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  config.cycles = args.get_int("cycles", 6);
   config.demand_growth = 0.15;
+  config.threads = args.get_int("threads", 0);
+  config.checkpoint_every = args.get_int("checkpoint-every", 0);
+  config.checkpoint_path = args.get("checkpoint-path", "");
+  config.resume_path = args.get("resume", "");
+  if (args.help_requested()) {
+    std::cout << args.usage(
+        "bench_multi_cycle: cumulative profit over consecutive billing "
+        "cycles; --checkpoint-every/--checkpoint-path snapshot the cycle "
+        "grid, --resume restarts from a snapshot");
+    return 0;
+  }
+  args.finish();
 
   std::cout << "=== Extension: cumulative profit over " << config.cycles
             << " billing cycles (B4, demand +15%/cycle"
             << (shards > 1 ? ", Metis sharded K=" + std::to_string(shards) : "")
+            << (config.resume_path.empty()
+                    ? ""
+                    : ", resumed from " + config.resume_path)
             << ") ===\n\n";
   core::MetisOptions metis_options;
   metis_options.shards = shards;

@@ -65,8 +65,9 @@ void write_baseline_json(const std::string& path, const sim::Scenario& scenario,
   os << std::setprecision(15);
   os << "{\n";
   os << "  \"bench\": \"shard\",\n";
-  os << "  \"scenario\": {\"network\": \"" << to_string(scenario.network)
-     << "\", \"seed\": " << scenario.seed << ", \"theta\": " << theta
+  os << "  \"scenario\": {\"network\": "
+     << bench::json_str(to_string(scenario.network))
+     << ", \"seed\": " << scenario.seed << ", \"theta\": " << theta
      << "},\n";
   os << "  \"threads\": " << threads << ",\n";
   os << "  \"rows\": [\n";

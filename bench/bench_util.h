@@ -14,11 +14,18 @@
 #include <iostream>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
+#include "util/json.h"
 #include "util/table.h"
 #include "util/telemetry.h"
 
 namespace metis::bench {
+
+/// Quoted, escaped JSON string — the same escaper the telemetry export
+/// uses (util/json.h), so baseline writers never emit malformed JSON when
+/// a policy or network name grows a quote or backslash.
+inline std::string json_str(std::string_view s) { return json::escaped(s); }
 
 inline bool csv_mode(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {

@@ -27,9 +27,15 @@ int main(int argc, char** argv) {
   config.base.seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
   config.cycles = args.get_int("cycles", 6);
   config.demand_growth = args.get_double("growth", 0.15);
+  config.checkpoint_every = args.get_int("checkpoint-every", 0);
+  config.checkpoint_path = args.get("checkpoint-path", "");
+  config.resume_path = args.get("resume", "");
   const std::string telemetry_path = args.get("telemetry-json", "");
   if (args.help_requested()) {
-    std::cout << args.usage("multi_cycle: cumulative profit over billing cycles");
+    std::cout << args.usage(
+        "multi_cycle: cumulative profit over billing cycles; "
+        "--checkpoint-every/--checkpoint-path snapshot the cycle grid, "
+        "--resume restarts from a snapshot");
     return 0;
   }
   args.finish();

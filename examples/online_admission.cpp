@@ -24,10 +24,14 @@ int main(int argc, char** argv) {
   config.base.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   config.batch_size = args.get_int("batch", 8);
   config.max_batch_delay = args.get_double("delay", 0.5);
+  config.checkpoint_every = args.get_int("checkpoint-every", 0);
+  config.checkpoint_path = args.get("checkpoint-path", "");
+  config.resume_path = args.get("resume", "");
   if (args.help_requested()) {
     std::cout << args.usage(
         "online_admission: stream one cycle's requests through batched "
-        "incremental Metis re-decides");
+        "incremental Metis re-decides; --checkpoint-every/--checkpoint-path "
+        "write periodic snapshots, --resume restarts from one");
     return 0;
   }
   args.finish();

@@ -218,4 +218,41 @@ const std::vector<Path>& PathCache::paths(NodeId src, NodeId dst, int k,
       .first->second;
 }
 
+PathCache::Dump PathCache::dump() const {
+  Dump d;
+  d.epoch = epoch_;
+  d.hits = hits_;
+  d.misses = misses_;
+  d.stale = stale_;
+  d.entries.reserve(cache_.size());
+  for (const auto& [key, paths] : cache_) {
+    d.entries.push_back(Dump::Entry{std::get<0>(key), std::get<1>(key),
+                                    std::get<2>(key), std::get<3>(key),
+                                    paths});
+  }
+  return d;
+}
+
+void PathCache::restore(const Dump& d) {
+  // The image may *lag* the topology: mutations flush lazily, so a snapshot
+  // taken between a mutation and the next lookup legitimately carries the
+  // pre-mutation epoch (the restored cache then flushes on first lookup,
+  // exactly as the uninterrupted cache would).  An image from a *future*
+  // epoch cannot arise from a snapshot of this topology and is rejected.
+  if (d.epoch > topo_->epoch()) {
+    throw std::invalid_argument(
+        "PathCache::restore: image epoch " + std::to_string(d.epoch) +
+        " is ahead of the topology's epoch " +
+        std::to_string(topo_->epoch()));
+  }
+  cache_.clear();
+  for (const Dump::Entry& e : d.entries) {
+    cache_[std::make_tuple(e.src, e.dst, e.k, e.metric)] = e.paths;
+  }
+  epoch_ = d.epoch;
+  hits_ = static_cast<std::size_t>(d.hits);
+  misses_ = static_cast<std::size_t>(d.misses);
+  stale_ = static_cast<std::size_t>(d.stale);
+}
+
 }  // namespace metis::net

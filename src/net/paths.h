@@ -83,6 +83,32 @@ class PathCache {
   /// (also exported as the "net.path_cache_stale" telemetry counter).
   std::size_t stale() const { return stale_; }
 
+  // --- checkpoint image (src/persist/) ----------------------------------
+  /// Plain-data image of the cache: every entry plus the hit/miss/stale
+  /// counters and the epoch the entries were computed under.
+  struct Dump {
+    struct Entry {
+      NodeId src = 0;
+      NodeId dst = 0;
+      int k = 0;
+      int metric = 0;  ///< static_cast<int>(PathMetric)
+      std::vector<Path> paths;
+    };
+    std::vector<Entry> entries;  ///< sorted by (src, dst, k, metric)
+    std::uint64_t epoch = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t stale = 0;
+  };
+  Dump dump() const;
+  /// Replaces the cache's contents and counters with `d`.  The image epoch
+  /// may equal the topology's epoch or lag it (mutations flush lazily, so a
+  /// snapshot taken between a mutation and the next lookup carries the
+  /// pre-mutation epoch; the restored cache then flushes on first lookup
+  /// exactly as the live one would).  An image *ahead* of the topology's
+  /// epoch cannot have come from it, so that throws.
+  void restore(const Dump& d);
+
  private:
   const Topology* topo_;
   std::uint64_t epoch_;

@@ -92,6 +92,25 @@ int Topology::disable_node(NodeId node) {
   return disabled;
 }
 
+void Topology::restore_edge_state(EdgeId e, double price, int capacity_units,
+                                  bool enabled) {
+  if (price < 0) throw std::invalid_argument("restore_edge_state: negative price");
+  if (capacity_units < 0) {
+    throw std::invalid_argument("restore_edge_state: negative capacity");
+  }
+  Edge& edge = edges_.at(e);
+  edge.price = price;
+  edge.capacity_units = capacity_units;
+  edge.enabled = enabled;
+}
+
+void Topology::restore_node_state(NodeId node, bool enabled) {
+  if (!valid_node(node)) {
+    throw std::invalid_argument("restore_node_state: node id out of range");
+  }
+  node_enabled_[node] = enabled;
+}
+
 int Topology::min_positive_capacity() const {
   int best = 0;
   for (const Edge& e : edges_) {

@@ -89,6 +89,18 @@ class Topology {
   bool edge_enabled(EdgeId e) const { return edges_.at(e).enabled; }
   bool node_enabled(NodeId node) const { return node_enabled_.at(node); }
 
+  // --- checkpoint restore (src/persist/) --------------------------------
+  // Rehydrating a snapshot must reproduce the *exact* saved state, epoch
+  // included: replaying mutations through the normal setters would land on
+  // a different epoch count (each call bumps it), so PathCache entries
+  // restored alongside would be flushed as stale.  These setters write the
+  // saved values without touching the epoch; restore_epoch() then pins the
+  // counter last.  Restore-only — never use these mid-simulation.
+  void restore_edge_state(EdgeId e, double price, int capacity_units,
+                          bool enabled);
+  void restore_node_state(NodeId node, bool enabled);
+  void restore_epoch(std::uint64_t epoch) { epoch_ = epoch; }
+
   /// Minimum strictly positive capacity across *enabled* edges (the
   /// constant `c` in the paper's inequality (6)); returns 0 if every
   /// capacity is zero.

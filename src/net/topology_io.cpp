@@ -10,13 +10,17 @@
 namespace metis::net {
 
 namespace {
-[[noreturn]] void fail(int line, const std::string& message) {
-  throw std::runtime_error("topology parse error at line " +
+[[noreturn]] void fail_at(const std::string& source, int line,
+                          const std::string& message) {
+  throw std::runtime_error("topology parse error at " + source + ":" +
                            std::to_string(line) + ": " + message);
 }
 }  // namespace
 
-Topology read_topology(std::istream& in) {
+Topology read_topology(std::istream& in, const std::string& source) {
+  const auto fail = [&source](int line, const std::string& message) {
+    fail_at(source, line, message);
+  };
   std::optional<Topology> topo;
   std::string line;
   int line_no = 0;
@@ -71,14 +75,17 @@ Topology read_topology(std::istream& in) {
       fail(line_no, "unknown keyword: " + keyword);
     }
   }
-  if (!topo) throw std::runtime_error("topology parse error: no nodes line");
+  if (!topo) {
+    throw std::runtime_error("topology parse error in " + source +
+                             ": no nodes line");
+  }
   return *std::move(topo);
 }
 
 Topology read_topology_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open topology file: " + path);
-  return read_topology(in);
+  return read_topology(in, path);
 }
 
 void write_topology(std::ostream& out, const Topology& topo) {

@@ -14,8 +14,11 @@
 
 namespace metis::net {
 
-/// Parses a topology; throws std::runtime_error with a line number on error.
-Topology read_topology(std::istream& in);
+/// Parses a topology; throws std::runtime_error on error.  Every diagnostic
+/// names the source and line ("topology parse error at <source>:<line>:
+/// ..."); `source` defaults to "<input>" for stream input, and
+/// read_topology_file passes the file path.
+Topology read_topology(std::istream& in, const std::string& source = "<input>");
 /// File variant of read_topology; also throws when the file cannot be opened.
 Topology read_topology_file(const std::string& path);
 

@@ -1,0 +1,161 @@
+#include "persist/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+
+namespace metis::persist {
+
+using serialize::ByteReader;
+using serialize::ByteWriter;
+using serialize::crc32;
+
+void SnapshotWriter::section(std::uint32_t id,
+                             std::vector<std::uint8_t> payload) {
+  if (!sections_.empty() && id <= sections_.back().id) {
+    throw SnapshotError("SnapshotWriter: section ids must strictly increase (" +
+                        std::to_string(id) + " after " +
+                        std::to_string(sections_.back().id) + ")");
+  }
+  sections_.push_back(Section{id, std::move(payload)});
+}
+
+std::vector<std::uint8_t> SnapshotWriter::to_bytes() const {
+  ByteWriter header;
+  header.raw(reinterpret_cast<const std::uint8_t*>(kSnapshotMagic),
+             sizeof(kSnapshotMagic));
+  header.u32(kSnapshotVersion);
+  header.u32(static_cast<std::uint32_t>(sections_.size()));
+  ByteWriter out;
+  out.raw(header.bytes().data(), header.size());
+  out.u32(crc32(header.bytes()));
+  for (const Section& s : sections_) {
+    out.u32(s.id);
+    out.u64(s.payload.size());
+    out.u32(crc32(s.payload));
+    out.raw(s.payload.data(), s.payload.size());
+  }
+  return std::move(out).take();
+}
+
+void SnapshotWriter::write_file(const std::string& path) const {
+  write_bytes_atomic(to_bytes(), path);
+}
+
+void write_bytes_atomic(const std::vector<std::uint8_t>& bytes,
+                        const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw SnapshotError("cannot open '" + tmp + "' for writing");
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      throw SnapshotError("short write to '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw SnapshotError("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+}
+
+SnapshotReader::SnapshotReader(std::vector<std::uint8_t> bytes,
+                               std::string source)
+    : source_(std::move(source)) {
+  const auto fail = [&](const std::string& message) -> void {
+    throw SnapshotError("snapshot '" + source_ + "': " + message);
+  };
+  try {
+    ByteReader r(bytes, "container");
+    if (r.remaining() < 20) {
+      fail("truncated header: " + std::to_string(r.remaining()) +
+           " bytes, need at least 20");
+    }
+    const std::uint32_t header_crc = crc32(bytes.data(), 16);
+    char magic[8];
+    for (char& c : magic) c = static_cast<char>(r.u8());
+    if (!std::equal(magic, magic + 8, kSnapshotMagic)) {
+      fail("bad magic (not a metis checkpoint)");
+    }
+    const std::uint32_t version = r.u32();
+    const std::uint32_t count = r.u32();
+    if (r.u32() != header_crc) {
+      fail("header CRC mismatch (corrupted prologue)");
+    }
+    if (version != kSnapshotVersion) {
+      fail("unsupported snapshot version " + std::to_string(version) +
+           " (this build reads version " + std::to_string(kSnapshotVersion) +
+           ")");
+    }
+    for (std::uint32_t s = 0; s < count; ++s) {
+      const std::uint32_t id = r.u32();
+      if (!sections_.empty() && id <= sections_.back().first) {
+        fail("section " + std::to_string(id) + " out of order after " +
+             std::to_string(sections_.back().first) +
+             " (sections were reordered or the framing is corrupt)");
+      }
+      const std::uint64_t declared_length = r.u64();
+      const std::uint32_t expected_crc = r.u32();
+      // Validate the length only now: length() checks against remaining(),
+      // which must not include the CRC word just consumed, or a snapshot
+      // truncated inside the CRC passes validation and the payload slice
+      // below reads past the buffer.
+      const std::uint64_t length = r.length(declared_length);
+      std::vector<std::uint8_t> payload(
+          bytes.begin() + static_cast<std::ptrdiff_t>(r.position()),
+          bytes.begin() + static_cast<std::ptrdiff_t>(r.position() + length));
+      for (std::uint64_t skip = 0; skip < length; ++skip) r.u8();
+      if (crc32(payload) != expected_crc) {
+        fail("section " + std::to_string(id) +
+             " CRC mismatch (payload corrupted)");
+      }
+      sections_.emplace_back(id, std::move(payload));
+    }
+    r.expect_done();
+  } catch (const serialize::SerializeError& e) {
+    fail(e.what());
+  }
+}
+
+SnapshotReader SnapshotReader::from_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw SnapshotError("cannot open snapshot '" + path + "'");
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    throw SnapshotError("read error on snapshot '" + path + "'");
+  }
+  return SnapshotReader(std::move(bytes), path);
+}
+
+const std::vector<std::uint8_t>& SnapshotReader::section(
+    std::uint32_t id) const {
+  for (const auto& [sid, payload] : sections_) {
+    if (sid == id) return payload;
+  }
+  throw SnapshotError("snapshot '" + source_ + "': missing section " +
+                      std::to_string(id));
+}
+
+bool SnapshotReader::has_section(std::uint32_t id) const {
+  for (const auto& [sid, payload] : sections_) {
+    if (sid == id) return true;
+  }
+  return false;
+}
+
+std::vector<std::uint32_t> SnapshotReader::section_ids() const {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(sections_.size());
+  for (const auto& [sid, payload] : sections_) ids.push_back(sid);
+  return ids;
+}
+
+}  // namespace metis::persist

@@ -608,4 +608,86 @@ std::vector<std::string> CommittedBook::validate() const {
   return out;
 }
 
+void CommittedBook::export_state(persist::OnlineCheckpoint& ckpt) const {
+  ckpt.entries.clear();
+  ckpt.entries.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    persist::BookEntryState image;
+    image.request = e.request;
+    image.status = static_cast<int>(e.status);
+    image.path = e.path;
+    image.was_committed = e.was_committed;
+    ckpt.entries.push_back(std::move(image));
+  }
+  persist::TopologyState& t = ckpt.topology;
+  t.price.clear();
+  t.capacity_units.clear();
+  t.edge_enabled.clear();
+  for (const net::Edge& edge : topo_.edges()) {
+    t.price.push_back(edge.price);
+    t.capacity_units.push_back(edge.capacity_units);
+    t.edge_enabled.push_back(edge.enabled ? 1 : 0);
+  }
+  t.node_enabled.clear();
+  for (net::NodeId node = 0; node < topo_.num_nodes(); ++node) {
+    t.node_enabled.push_back(topo_.node_enabled(node) ? 1 : 0);
+  }
+  t.epoch = topo_.epoch();
+  ckpt.inc = state_;
+  ckpt.refunds = refunds_;
+  ckpt.fault_stats = {stats_.injected,  stats_.network_changes,
+                      stats_.repairs,   stats_.victims,
+                      stats_.dropped,   stats_.rerouted,
+                      stats_.shed_rounds, stats_.surge_arrivals};
+  ckpt.book_lp_stats = lp_stats_;
+  ckpt.cache = cache_.dump();
+}
+
+void CommittedBook::restore_state(const persist::OnlineCheckpoint& ckpt) {
+  const persist::TopologyState& t = ckpt.topology;
+  if (static_cast<int>(t.price.size()) != topo_.num_edges() ||
+      static_cast<int>(t.node_enabled.size()) != topo_.num_nodes()) {
+    throw std::invalid_argument(
+        "CommittedBook::restore_state: topology image shape (" +
+        std::to_string(t.price.size()) + " edges, " +
+        std::to_string(t.node_enabled.size()) +
+        " nodes) does not match this book's topology");
+  }
+  for (net::EdgeId e = 0; e < topo_.num_edges(); ++e) {
+    topo_.restore_edge_state(e, t.price[e], t.capacity_units[e],
+                             t.edge_enabled[e] != 0);
+  }
+  for (net::NodeId node = 0; node < topo_.num_nodes(); ++node) {
+    topo_.restore_node_state(node, t.node_enabled[node] != 0);
+  }
+  topo_.restore_epoch(t.epoch);
+
+  entries_.clear();
+  entries_.reserve(ckpt.entries.size());
+  for (const persist::BookEntryState& image : ckpt.entries) {
+    Entry e;
+    e.request = image.request;
+    if (image.status < 0 || image.status > 2) {
+      throw std::invalid_argument(
+          "CommittedBook::restore_state: entry status out of range");
+    }
+    e.status = static_cast<Status>(image.status);
+    e.path = image.path;
+    e.was_committed = image.was_committed;
+    entries_.push_back(std::move(e));
+  }
+  state_ = ckpt.inc;
+  refunds_ = ckpt.refunds;
+  stats_ = FaultStats{ckpt.fault_stats.injected,
+                      ckpt.fault_stats.network_changes,
+                      ckpt.fault_stats.repairs,
+                      ckpt.fault_stats.victims,
+                      ckpt.fault_stats.dropped,
+                      ckpt.fault_stats.rerouted,
+                      ckpt.fault_stats.shed_rounds,
+                      ckpt.fault_stats.surge_arrivals};
+  lp_stats_ = ckpt.book_lp_stats;
+  cache_.restore(ckpt.cache);
+}
+
 }  // namespace metis::sim

@@ -31,6 +31,7 @@
 #include "core/metis.h"
 #include "net/paths.h"
 #include "net/topology.h"
+#include "persist/checkpoint.h"
 #include "util/rng.h"
 #include "workload/request.h"
 
@@ -200,6 +201,17 @@ class CommittedBook {
   /// coverage, capacity conformance against the mutated topology, and that
   /// no reservation crosses a disabled edge.  Empty = clean.
   std::vector<std::string> validate() const;
+
+  // --- checkpoint/restore (src/persist/) -------------------------------
+  /// Copies the book's full mutable state — entries, mutated topology,
+  /// refund ledger, fault/LP counters, warm-start snapshots, path cache —
+  /// into the checkpoint's fault-mode fields.
+  void export_state(persist::OnlineCheckpoint& ckpt) const;
+  /// Rehydrates the book from a checkpoint taken by export_state against
+  /// the same pristine topology (shape pinned by the config fingerprint).
+  /// The topology is restored through the epoch-preserving setters, so the
+  /// reloaded PathCache image stays valid.
+  void restore_state(const persist::OnlineCheckpoint& ckpt);
 
  private:
   enum class Status { Pending, Accepted, Declined };

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <functional>
 #include <stdexcept>
 #include <utility>
 
+#include "persist/checkpoint.h"
+#include "util/serialize.h"
 #include "util/telemetry.h"
 
 namespace metis::sim {
@@ -72,6 +75,12 @@ class BatchReplay {
     if (pending_() == 0) oldest_queued_ = time;
   }
 
+  /// The deadline clock, saved into checkpoints: together with the queued
+  /// requests it is all the state a resumed replay needs to refire an owed
+  /// deadline flush at the identical flush time and batch index.
+  double oldest_queued() const { return oldest_queued_; }
+  void restore_oldest_queued(double t) { oldest_queued_ = t; }
+
  private:
   std::uint64_t seed_;
   double max_delay_;
@@ -81,7 +90,136 @@ class BatchReplay {
   double oldest_queued_ = 0;
 };
 
+// --- checkpoint plumbing --------------------------------------------------
+
+std::vector<persist::BatchState> to_batch_states(
+    const std::vector<BatchRecord>& batches) {
+  std::vector<persist::BatchState> states;
+  states.reserve(batches.size());
+  for (const BatchRecord& b : batches) {
+    states.push_back(persist::BatchState{b.batch, b.arrivals, b.flush_time,
+                                         b.accepted, b.profit, b.decide_ms,
+                                         b.lp_stats});
+  }
+  return states;
+}
+
+std::vector<BatchRecord> from_batch_states(
+    const std::vector<persist::BatchState>& states) {
+  std::vector<BatchRecord> batches;
+  batches.reserve(states.size());
+  for (const persist::BatchState& s : states) {
+    batches.push_back(BatchRecord{s.batch, s.arrivals, s.flush_time,
+                                  s.accepted, s.profit, s.decide_ms,
+                                  s.lp_stats});
+  }
+  return batches;
+}
+
+std::string hex_fingerprint(std::uint64_t fp) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+/// Loads and vets a resume snapshot: the config fingerprint must match
+/// (the arrival/fault streams are derived from the config, so a different
+/// config would silently diverge, not resume) and the snapshot must come
+/// from the same replay mode this run is about to execute.
+persist::OnlineCheckpoint load_resume(const std::string& path,
+                                      std::uint64_t fingerprint,
+                                      bool fault_mode) {
+  persist::OnlineCheckpoint ckpt = persist::load_online(path);
+  if (ckpt.config_fingerprint != fingerprint) {
+    throw std::runtime_error(
+        "online resume: config fingerprint mismatch (snapshot " +
+        hex_fingerprint(ckpt.config_fingerprint) + ", current config " +
+        hex_fingerprint(fingerprint) +
+        "): '" + path + "' was taken under a different configuration");
+  }
+  if (ckpt.fault_mode != fault_mode) {
+    throw std::runtime_error(
+        std::string("online resume: snapshot '") + path + "' is from a " +
+        (ckpt.fault_mode ? "fault-mode" : "fault-free") +
+        " replay but the current config selects the " +
+        (fault_mode ? "fault-mode" : "fault-free") + " replay");
+  }
+  telemetry::Registry::global().restore(ckpt.metrics);
+  return ckpt;
+}
+
+/// Writes the boundary's snapshot: the latest-complete file, plus the
+/// per-boundary copy when keep_all is on (the kill-anywhere test harness).
+void write_checkpoint(const OnlineConfig& config,
+                      persist::OnlineCheckpoint& ckpt, int boundary) {
+  ckpt.boundary_time = boundary;
+  // Snapshot the registry last so the image carries everything recorded up
+  // to this boundary (the save's own persist.* metrics land after).
+  ckpt.metrics = telemetry::Registry::global().snapshot();
+  persist::save(ckpt, config.checkpoint_path);
+  if (config.checkpoint_keep_all) {
+    persist::save(ckpt,
+                  config.checkpoint_path + ".slot" + std::to_string(boundary));
+  }
+}
+
 }  // namespace
+
+std::uint64_t OnlineAdmissionSimulator::config_fingerprint() const {
+  serialize::Fingerprint fp;
+  const Scenario& base = config_.base;
+  fp.mix(to_string(base.network));
+  fp.mix(base.num_requests);
+  fp.mix(base.seed);
+  fp.mix(base.instance.num_slots);
+  fp.mix(base.instance.max_paths);
+  fp.mix(base.uniform_capacity);
+  fp.mix(base.poisson_arrivals);
+  const workload::GeneratorConfig& w = base.workload;
+  fp.mix(w.num_slots);
+  fp.mix(w.min_rate);
+  fp.mix(w.max_rate);
+  fp.mix(w.value_per_unit_slot);
+  fp.mix(w.value_noise);
+  fp.mix(w.low_value_fraction);
+  fp.mix(w.low_value_min);
+  fp.mix(w.low_value_max);
+  fp.mix(config_.arrivals_per_slot);
+  fp.mix(config_.batch_size);
+  fp.mix(config_.max_batch_delay);
+  fp.mix(config_.cross_batch_warm_start);
+  fp.mix(config_.reuse_path_cache);
+  const core::MetisOptions& m = config_.metis;
+  fp.mix(m.theta);
+  fp.mix(m.trim_units);
+  fp.mix(m.prune);
+  fp.mix(m.local_search);
+  fp.mix(m.warm_start);
+  fp.mix(m.maa.rounding_trials);
+  fp.mix(m.maa.deterministic);
+  fp.mix(m.taa.augment);
+  fp.mix(m.taa.fallback_mu);
+  fp.mix(m.taa.cost_weight);
+  fp.mix(m.shards);
+  const FaultConfig& f = config_.faults;
+  fp.mix(f.rate);
+  fp.mix(f.weight_link_failure);
+  fp.mix(f.weight_link_degrade);
+  fp.mix(f.weight_node_outage);
+  fp.mix(f.weight_price_shock);
+  fp.mix(f.weight_demand_surge);
+  fp.mix(f.degrade_keep_min);
+  fp.mix(f.degrade_keep_max);
+  fp.mix(f.price_shock_min);
+  fp.mix(f.price_shock_max);
+  fp.mix(f.surge_mean);
+  fp.mix(f.stream);
+  fp.mix(to_string(config_.repair_policy));
+  fp.mix(config_.refund_factor);
+  fp.mix(config_.max_shed_rounds);
+  return fp.value();
+}
 
 OnlineAdmissionSimulator::OnlineAdmissionSimulator(OnlineConfig config)
     : config_(std::move(config)) {
@@ -179,13 +317,80 @@ OnlineResult OnlineAdmissionSimulator::run() const {
         result.profit = decided.best;
       });
 
+  // --- checkpoint/resume ------------------------------------------------
+  const std::uint64_t fingerprint = config_fingerprint();
+  std::size_t start_arrival = 0;
+  double resumed_boundary = 0;
+  if (!config_.resume_path.empty()) {
+    const persist::OnlineCheckpoint ckpt =
+        load_resume(config_.resume_path, fingerprint, /*fault_mode=*/false);
+    if (ckpt.next_arrival > stream.size()) {
+      throw std::runtime_error(
+          "online resume: snapshot claims " +
+          std::to_string(ckpt.next_arrival) +
+          " arrivals consumed but the stream has only " +
+          std::to_string(stream.size()));
+    }
+    book = ckpt.book;
+    state = ckpt.inc;
+    result.batches = from_batch_states(ckpt.batches);
+    result.total_accepted = ckpt.total_accepted;
+    result.schedule = ckpt.schedule;
+    result.plan = ckpt.plan;
+    result.profit = ckpt.profit;
+    result.lp_stats = ckpt.lp_stats;
+    replay.restore_oldest_queued(ckpt.oldest_queued);
+    cache.restore(ckpt.cache);
+    start_arrival = static_cast<std::size_t>(ckpt.next_arrival);
+    resumed_boundary = ckpt.boundary_time;
+  }
+  const bool checkpointing =
+      config_.checkpoint_every > 0 && !config_.checkpoint_path.empty();
+  int next_boundary = config_.checkpoint_every;
+  while (checkpointing && next_boundary <= resumed_boundary) {
+    next_boundary += config_.checkpoint_every;
+  }
+  std::size_t arrivals_consumed = start_arrival;
+  // Writes every boundary <= `upcoming` still owed.  Called *before* the
+  // item at `upcoming` is processed — and before any deadline flush it
+  // reveals — so the snapshot holds exactly the items with time < boundary
+  // (an owed flush refires identically after resume: the queue and the
+  // deadline clock are both in the snapshot).
+  const auto maybe_checkpoint = [&](double upcoming) {
+    if (!checkpointing) return;
+    while (next_boundary < config_.base.instance.num_slots &&
+           upcoming >= next_boundary) {
+      persist::OnlineCheckpoint ckpt;
+      ckpt.config_fingerprint = fingerprint;
+      ckpt.fault_mode = false;
+      ckpt.next_arrival = arrivals_consumed;
+      ckpt.oldest_queued = replay.oldest_queued();
+      ckpt.total_arrivals = result.total_arrivals;
+      ckpt.total_accepted = result.total_accepted;
+      ckpt.batches = to_batch_states(result.batches);
+      ckpt.book = book;
+      ckpt.inc = state;
+      ckpt.schedule = result.schedule;
+      ckpt.plan = result.plan;
+      ckpt.profit = result.profit;
+      ckpt.lp_stats = result.lp_stats;
+      ckpt.cache = cache.dump();
+      write_checkpoint(config_, ckpt, next_boundary);
+      next_boundary += config_.checkpoint_every;
+    }
+  };
+
   // Arrival-ordered replay: only arrivals advance the clock here.
-  for (const workload::Arrival& a : stream) {
+  for (std::size_t i = start_arrival; i < stream.size(); ++i) {
+    const workload::Arrival& a = stream[i];
+    maybe_checkpoint(a.arrival_time);
     replay.deadline_flush_before(a.arrival_time);
     replay.note_arrival(a.arrival_time);
     book.push_back(a.request);
+    arrivals_consumed = i + 1;
     if (pending() >= config_.batch_size) replay.flush(a.arrival_time);
   }
+  maybe_checkpoint(static_cast<double>(config_.base.instance.num_slots));
   // End of cycle: whatever is still queued gets decided at the cycle edge.
   if (pending() > 0) {
     replay.flush(static_cast<double>(config_.base.instance.num_slots));
@@ -241,6 +446,63 @@ OnlineResult OnlineAdmissionSimulator::run_with_faults() const {
   std::size_t next_event = 0;
   int repair_index = 0;
   int surge_index = 0;
+
+  // --- checkpoint/resume ------------------------------------------------
+  const std::uint64_t fingerprint = config_fingerprint();
+  std::size_t start_arrival = 0;
+  double resumed_boundary = 0;
+  if (!config_.resume_path.empty()) {
+    const persist::OnlineCheckpoint ckpt =
+        load_resume(config_.resume_path, fingerprint, /*fault_mode=*/true);
+    if (ckpt.next_arrival > stream.size() ||
+        ckpt.next_fault_event > events.size()) {
+      throw std::runtime_error(
+          "online resume: snapshot cursors exceed the derived streams (" +
+          std::to_string(ckpt.next_arrival) + "/" +
+          std::to_string(stream.size()) + " arrivals, " +
+          std::to_string(ckpt.next_fault_event) + "/" +
+          std::to_string(events.size()) + " fault events)");
+    }
+    book.restore_state(ckpt);
+    result.batches = from_batch_states(ckpt.batches);
+    result.total_arrivals = ckpt.total_arrivals;  // includes surge extras
+    next_event = static_cast<std::size_t>(ckpt.next_fault_event);
+    repair_index = static_cast<int>(ckpt.repair_index);
+    surge_index = static_cast<int>(ckpt.surge_index);
+    replay.restore_oldest_queued(ckpt.oldest_queued);
+    start_arrival = static_cast<std::size_t>(ckpt.next_arrival);
+    resumed_boundary = ckpt.boundary_time;
+  }
+  const bool checkpointing =
+      config_.checkpoint_every > 0 && !config_.checkpoint_path.empty();
+  int next_boundary = config_.checkpoint_every;
+  while (checkpointing && next_boundary <= resumed_boundary) {
+    next_boundary += config_.checkpoint_every;
+  }
+  std::size_t arrivals_consumed = start_arrival;
+  // Same placement contract as the fault-free replay: called before the
+  // item (arrival *or* fault event) at `upcoming` fires, and before the
+  // deadline flush that item reveals.
+  const auto maybe_checkpoint = [&](double upcoming) {
+    if (!checkpointing) return;
+    while (next_boundary < num_slots && upcoming >= next_boundary) {
+      persist::OnlineCheckpoint ckpt;
+      ckpt.config_fingerprint = fingerprint;
+      ckpt.fault_mode = true;
+      ckpt.next_arrival = arrivals_consumed;
+      ckpt.next_fault_event = next_event;
+      ckpt.repair_index = repair_index;
+      ckpt.surge_index = surge_index;
+      ckpt.oldest_queued = replay.oldest_queued();
+      ckpt.total_arrivals = result.total_arrivals;
+      ckpt.total_accepted = book.accepted_count();
+      ckpt.batches = to_batch_states(result.batches);
+      book.export_state(ckpt);
+      write_checkpoint(config_, ckpt, next_boundary);
+      next_boundary += config_.checkpoint_every;
+    }
+  };
+
   const auto fire = [&](const FaultEvent& event) {
     if (event.kind == FaultKind::DemandSurge) {
       Rng surge_rng = Rng(config_.base.seed)
@@ -267,17 +529,21 @@ OnlineResult OnlineAdmissionSimulator::run_with_faults() const {
   };
   const auto advance_to = [&](double time) {
     while (next_event < events.size() && events[next_event].time <= time) {
+      maybe_checkpoint(events[next_event].time);
       replay.deadline_flush_before(events[next_event].time);
       fire(events[next_event]);
       ++next_event;
     }
+    maybe_checkpoint(time);
     replay.deadline_flush_before(time);
   };
 
-  for (const workload::Arrival& a : stream) {
+  for (std::size_t i = start_arrival; i < stream.size(); ++i) {
+    const workload::Arrival& a = stream[i];
     advance_to(a.arrival_time);
     replay.note_arrival(a.arrival_time);
     book.add_pending(a.request);
+    arrivals_consumed = i + 1;
     if (book.pending_count() >= config_.batch_size) replay.flush(a.arrival_time);
   }
   advance_to(static_cast<double>(num_slots));

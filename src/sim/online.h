@@ -22,6 +22,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/metis.h"
@@ -67,6 +69,23 @@ struct OnlineConfig {
   double refund_factor = 1.0;
   /// Backoff bound of the infeasible-repair shed loop.
   int max_shed_rounds = 4;
+
+  // --- checkpoint/restore (src/persist/) -------------------------------
+  /// Checkpoint cadence in slots: with N > 0 and a checkpoint_path, the
+  /// replay writes a checkpoint at every slot boundary that is a positive
+  /// multiple of N strictly inside the cycle.  A checkpoint at boundary s
+  /// captures the state after every item (arrival or fault event) with
+  /// time < s and before any item with time >= s.  0 disables.
+  int checkpoint_every = 0;
+  /// Target file of the periodic checkpoint (overwritten atomically at
+  /// each boundary; the file always holds the latest complete snapshot).
+  std::string checkpoint_path;
+  /// Also keep every boundary's snapshot as checkpoint_path + ".slot<k>"
+  /// (the kill-at-any-boundary test harness; off by default).
+  bool checkpoint_keep_all = false;
+  /// Resume: restore this snapshot, then replay only the remaining stream.
+  /// The snapshot's config fingerprint must match this config exactly.
+  std::string resume_path;
 };
 
 /// One batch re-decide, in flush order.
@@ -138,6 +157,12 @@ class OnlineAdmissionSimulator {
   core::MetisResult offline_oracle() const;
 
   const OnlineConfig& config() const { return config_; }
+
+  /// FNV-1a fingerprint of every determinism-relevant config field.  Stored
+  /// in each checkpoint; a resume whose config fingerprint differs is
+  /// rejected (replaying a stream the snapshot was not taken from would
+  /// silently diverge instead of resuming).
+  std::uint64_t config_fingerprint() const;
 
  private:
   double arrival_rate() const;

@@ -1,13 +1,39 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
+#include "persist/checkpoint.h"
 #include "sim/validate.h"
 #include "util/parallel.h"
+#include "util/serialize.h"
 #include "util/telemetry.h"
 
 namespace metis::sim {
+namespace {
+
+persist::FaultStatsImage to_image(const FaultStats& s) {
+  return persist::FaultStatsImage{s.injected,  s.network_changes, s.repairs,
+                                  s.victims,   s.dropped,         s.rerouted,
+                                  s.shed_rounds, s.surge_arrivals};
+}
+
+FaultStats from_image(const persist::FaultStatsImage& s) {
+  return FaultStats{s.injected,  s.network_changes, s.repairs,
+                    s.victims,   s.dropped,         s.rerouted,
+                    s.shed_rounds, s.surge_arrivals};
+}
+
+std::string hex_fingerprint(std::uint64_t fp) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+}  // namespace
 
 BillingCycleSimulator::BillingCycleSimulator(SimulationConfig config)
     : config_(std::move(config)) {
@@ -92,6 +118,49 @@ void BillingCycleSimulator::replay_faults(const core::SpmInstance& instance,
   co.fault_stats = book.stats();
 }
 
+std::uint64_t BillingCycleSimulator::config_fingerprint(
+    const std::vector<std::unique_ptr<Policy>>& policies) const {
+  serialize::Fingerprint fp;
+  const Scenario& base = config_.base;
+  fp.mix(to_string(base.network));
+  fp.mix(base.num_requests);
+  fp.mix(base.seed);
+  fp.mix(base.instance.num_slots);
+  fp.mix(base.instance.max_paths);
+  fp.mix(base.uniform_capacity);
+  fp.mix(base.poisson_arrivals);
+  const workload::GeneratorConfig& w = base.workload;
+  fp.mix(w.num_slots);
+  fp.mix(w.min_rate);
+  fp.mix(w.max_rate);
+  fp.mix(w.value_per_unit_slot);
+  fp.mix(w.value_noise);
+  fp.mix(w.low_value_fraction);
+  fp.mix(w.low_value_min);
+  fp.mix(w.low_value_max);
+  fp.mix(config_.cycles);
+  fp.mix(config_.demand_growth);
+  const FaultConfig& f = config_.faults;
+  fp.mix(f.rate);
+  fp.mix(f.weight_link_failure);
+  fp.mix(f.weight_link_degrade);
+  fp.mix(f.weight_node_outage);
+  fp.mix(f.weight_price_shock);
+  fp.mix(f.weight_demand_surge);
+  fp.mix(f.degrade_keep_min);
+  fp.mix(f.degrade_keep_max);
+  fp.mix(f.price_shock_min);
+  fp.mix(f.price_shock_max);
+  fp.mix(f.surge_mean);
+  fp.mix(f.stream);
+  fp.mix(to_string(config_.repair_policy));
+  fp.mix(config_.refund_factor);
+  fp.mix(config_.max_shed_rounds);
+  fp.mix(static_cast<int>(policies.size()));
+  for (const auto& policy : policies) fp.mix(policy->name());
+  return fp.value();
+}
+
 std::vector<PolicyOutcome> BillingCycleSimulator::run(
     const std::vector<std::unique_ptr<Policy>>& policies) const {
   std::vector<PolicyOutcome> outcomes;
@@ -101,55 +170,149 @@ std::vector<PolicyOutcome> BillingCycleSimulator::run(
     outcome.policy = policy->name();
     outcomes.push_back(std::move(outcome));
   }
-
-  // One cell per (cycle, policy): the cell's Rng seed depends only on
-  // (cycle, p) and the instance only on the cycle, so the grid parallelizes
-  // with no cross-cell state.  Each cell rebuilds its cycle's instance —
-  // cheap relative to a decide() — to stay share-nothing.
   const int num_policies = static_cast<int>(policies.size());
-  const std::vector<CycleOutcome> cells = parallel_map(
-      config_.cycles * num_policies,
-      [&](int index) {
-        const int cycle = index / num_policies;
-        const std::size_t p = static_cast<std::size_t>(index % num_policies);
-        const core::SpmInstance instance = cycle_instance(cycle);
-        Rng rng(config_.base.seed * 104729 + cycle * 31 + p * 7 + 1);
-        const telemetry::Stopwatch decide_timer;
-        const Decision decision = [&] {
-          METIS_SPAN("cycle_decide");
-          return policies[p]->decide(instance, rng);
-        }();
-        const double decide_ms = decide_timer.ms();
 
-        const auto violations =
-            check_schedule(instance, decision.schedule, decision.plan);
-        if (!violations.empty()) {
-          throw std::runtime_error("simulator: policy '" + policies[p]->name() +
-                                   "' produced an infeasible decision: " +
-                                   violations.front());
-        }
-        const auto coverage =
-            check_plan_covers_schedule(instance, decision.schedule, decision.plan);
-        if (!coverage.empty()) {
-          throw std::runtime_error("simulator: policy '" + policies[p]->name() +
-                                   "' under-purchased: " + coverage.front());
-        }
+  // --- checkpoint/resume ------------------------------------------------
+  const std::uint64_t fingerprint = config_fingerprint(policies);
+  std::vector<CycleOutcome> cells(
+      static_cast<std::size_t>(config_.cycles) * num_policies);
+  int cycles_done = 0;
+  if (!config_.resume_path.empty()) {
+    const persist::MultiCycleCheckpoint ckpt =
+        persist::load_multi_cycle(config_.resume_path);
+    if (ckpt.config_fingerprint != fingerprint) {
+      throw std::runtime_error(
+          "simulator resume: config fingerprint mismatch (snapshot " +
+          hex_fingerprint(ckpt.config_fingerprint) + ", current run " +
+          hex_fingerprint(fingerprint) + "): '" + config_.resume_path +
+          "' was taken under a different configuration or policy roster");
+    }
+    if (ckpt.num_policies != num_policies || ckpt.cycles_done < 0 ||
+        ckpt.cycles_done > config_.cycles ||
+        ckpt.cells.size() !=
+            static_cast<std::size_t>(ckpt.cycles_done) * num_policies) {
+      throw std::runtime_error(
+          "simulator resume: snapshot cell grid is inconsistent with the "
+          "current run ('" +
+          config_.resume_path + "')");
+    }
+    for (const persist::CycleCellState& cell : ckpt.cells) {
+      if (cell.cycle < 0 || cell.cycle >= ckpt.cycles_done ||
+          cell.policy < 0 || cell.policy >= num_policies) {
+        throw std::runtime_error(
+            "simulator resume: snapshot cell index out of range ('" +
+            config_.resume_path + "')");
+      }
+      CycleOutcome co;
+      co.cycle = cell.cycle;
+      co.offered_requests = cell.offered_requests;
+      co.result = cell.result;
+      co.decide_ms = cell.decide_ms;
+      co.refunds = cell.refunds;
+      co.net_profit = cell.net_profit;
+      co.fault_stats = from_image(cell.fault_stats);
+      cells[static_cast<std::size_t>(cell.cycle) * num_policies +
+            cell.policy] = std::move(co);
+    }
+    cycles_done = ckpt.cycles_done;
+    telemetry::Registry::global().restore(ckpt.metrics);
+  }
+  const bool checkpointing =
+      config_.checkpoint_every > 0 && !config_.checkpoint_path.empty();
 
-        CycleOutcome co;
-        co.cycle = cycle;
-        co.offered_requests = instance.num_requests();
-        co.result = core::evaluate_with_plan(instance, decision.schedule,
-                                             decision.plan);
-        co.decide_ms = decide_ms;
-        co.net_profit = co.result.profit;
-        if (config_.faults.rate > 0) {
-          replay_faults(instance, decision, cycle, rng, co);
+  // One cell per (cycle, policy): the cell's Rng seed depends only on the
+  // absolute (cycle, p) and the instance only on the cycle, so the grid
+  // parallelizes with no cross-cell state — and running it block-by-block
+  // (the checkpoint cadence) is byte-identical to the one-shot grid.  Each
+  // cell rebuilds its cycle's instance — cheap relative to a decide() — to
+  // stay share-nothing.
+  while (cycles_done < config_.cycles) {
+    const int block_cycles =
+        checkpointing
+            ? std::min(config_.checkpoint_every, config_.cycles - cycles_done)
+            : config_.cycles - cycles_done;
+    const int first_cell = cycles_done * num_policies;
+    const std::vector<CycleOutcome> block = parallel_map(
+        block_cycles * num_policies,
+        [&](int local) {
+          const int index = first_cell + local;
+          const int cycle = index / num_policies;
+          const std::size_t p = static_cast<std::size_t>(index % num_policies);
+          const core::SpmInstance instance = cycle_instance(cycle);
+          Rng rng(config_.base.seed * 104729 + cycle * 31 + p * 7 + 1);
+          const telemetry::Stopwatch decide_timer;
+          const Decision decision = [&] {
+            METIS_SPAN("cycle_decide");
+            return policies[p]->decide(instance, rng);
+          }();
+          const double decide_ms = decide_timer.ms();
+
+          const auto violations =
+              check_schedule(instance, decision.schedule, decision.plan);
+          if (!violations.empty()) {
+            throw std::runtime_error("simulator: policy '" +
+                                     policies[p]->name() +
+                                     "' produced an infeasible decision: " +
+                                     violations.front());
+          }
+          const auto coverage = check_plan_covers_schedule(
+              instance, decision.schedule, decision.plan);
+          if (!coverage.empty()) {
+            throw std::runtime_error("simulator: policy '" +
+                                     policies[p]->name() +
+                                     "' under-purchased: " + coverage.front());
+          }
+
+          CycleOutcome co;
+          co.cycle = cycle;
+          co.offered_requests = instance.num_requests();
+          co.result = core::evaluate_with_plan(instance, decision.schedule,
+                                               decision.plan);
+          co.decide_ms = decide_ms;
+          co.net_profit = co.result.profit;
+          if (config_.faults.rate > 0) {
+            replay_faults(instance, decision, cycle, rng, co);
+          }
+          telemetry::observe("sim.decide_ms", co.decide_ms);
+          telemetry::count("sim.cycle_cells");
+          return co;
+        },
+        config_.threads);
+    std::copy(block.begin(), block.end(),
+              cells.begin() + first_cell);
+    cycles_done += block_cycles;
+
+    if (checkpointing && cycles_done < config_.cycles) {
+      persist::MultiCycleCheckpoint ckpt;
+      ckpt.config_fingerprint = fingerprint;
+      ckpt.cycles_done = cycles_done;
+      ckpt.num_policies = num_policies;
+      ckpt.cells.reserve(static_cast<std::size_t>(cycles_done) *
+                         num_policies);
+      for (int cycle = 0; cycle < cycles_done; ++cycle) {
+        for (int p = 0; p < num_policies; ++p) {
+          const CycleOutcome& co =
+              cells[static_cast<std::size_t>(cycle) * num_policies + p];
+          persist::CycleCellState cell;
+          cell.cycle = cycle;
+          cell.policy = p;
+          cell.offered_requests = co.offered_requests;
+          cell.result = co.result;
+          cell.decide_ms = co.decide_ms;
+          cell.refunds = co.refunds;
+          cell.net_profit = co.net_profit;
+          cell.fault_stats = to_image(co.fault_stats);
+          ckpt.cells.push_back(std::move(cell));
         }
-        telemetry::observe("sim.decide_ms", co.decide_ms);
-        telemetry::count("sim.cycle_cells");
-        return co;
-      },
-      config_.threads);
+      }
+      ckpt.metrics = telemetry::Registry::global().snapshot();
+      persist::save(ckpt, config_.checkpoint_path);
+      if (config_.checkpoint_keep_all) {
+        persist::save(ckpt, config_.checkpoint_path + ".cycle" +
+                                std::to_string(cycles_done));
+      }
+    }
+  }
 
   // Serial reduction in (cycle, policy) order: per-policy totals accumulate
   // cycle-by-cycle exactly as the historical nested loop did.

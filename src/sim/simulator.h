@@ -10,6 +10,9 @@
 // accounted; an infeasible decision is a bug and throws.
 #pragma once
 
+#include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "sim/faults.h"
@@ -45,6 +48,23 @@ struct SimulationConfig {
   double refund_factor = 1.0;
   /// Backoff bound of the infeasible-repair shed loop.
   int max_shed_rounds = 4;
+
+  // --- checkpoint/restore (src/persist/) -------------------------------
+  /// Checkpoint cadence in cycles: with N > 0 and a checkpoint_path, run()
+  /// executes the (cycle x policy) grid in blocks of N cycles and writes a
+  /// checkpoint after each completed block still strictly inside the run.
+  /// Cells are share-nothing (each seeds its Rng from its absolute
+  /// (cycle, policy) index), so block-wise execution is byte-identical to
+  /// the one-shot grid.  0 disables.
+  int checkpoint_every = 0;
+  /// Target file of the block checkpoint (overwritten atomically).
+  std::string checkpoint_path;
+  /// Also keep every block's snapshot as checkpoint_path + ".cycle<k>".
+  bool checkpoint_keep_all = false;
+  /// Resume: restore this snapshot and run only the remaining cycles.  The
+  /// snapshot's config fingerprint (which covers the policy roster given to
+  /// run()) must match exactly.
+  std::string resume_path;
 };
 
 struct CycleOutcome {
@@ -90,6 +110,13 @@ class BillingCycleSimulator {
 
   /// Request count offered in a given cycle (after growth compounding).
   int cycle_requests(int cycle) const;
+
+  /// FNV-1a fingerprint of every determinism-relevant config field plus the
+  /// policy roster (names, in order).  Stored in each checkpoint; a resume
+  /// whose fingerprint differs is rejected.  `threads` is excluded —
+  /// outcomes are thread-count invariant by construction.
+  std::uint64_t config_fingerprint(
+      const std::vector<std::unique_ptr<Policy>>& policies) const;
 
  private:
   /// Adopts the cell's decision into a CommittedBook and replays the

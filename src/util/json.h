@@ -1,0 +1,25 @@
+// Minimal JSON writing helpers: the one escaped-string-safe implementation
+// shared by the telemetry exporter, the bench baseline writers and the
+// persist layer's debug dump.  Each of those used to carry its own ad-hoc
+// writer; only telemetry's escaped control characters, so a bench label
+// containing a quote produced invalid JSON.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace metis::json {
+
+/// Writes `s` as a quoted JSON string, escaping quotes, backslashes and
+/// control characters.
+void write_escaped(std::ostream& os, std::string_view s);
+
+/// `s` as a quoted JSON string literal.
+std::string escaped(std::string_view s);
+
+/// Writes a double round-trip exact (%.17g); non-finite values become null
+/// (JSON has no NaN/Inf).
+void write_number(std::ostream& os, double v);
+
+}  // namespace metis::json

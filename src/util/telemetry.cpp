@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/json.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -26,38 +27,10 @@ std::vector<double> default_bounds() {
   return {0.1, 0.5, 1, 5, 10, 50, 100, 500, 1000, 5000, 10000};
 }
 
-void write_json_escaped(std::ostream& os, std::string_view s) {
-  os << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
-}
-
-/// Doubles rendered round-trip exact; non-finite values become null (JSON
-/// has no NaN/Inf).
-void write_json_number(std::ostream& os, double v) {
-  if (!std::isfinite(v)) {
-    os << "null";
-    return;
-  }
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  os << buf;
-}
+// The escaped-string / number writers live in util/json.h — shared with the
+// bench baseline writers and the persist layer's debug dump.
+using json::write_escaped;
+using json::write_number;
 
 /// One node of the span tree rebuilt from slash-joined paths at export time.
 struct SpanNode {
@@ -253,23 +226,63 @@ void Registry::reset() {
   impl_->spans.clear();
 }
 
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  const Impl* i = impl();
+  for (const auto& [name, c] : i->counters) {
+    snap.counters.emplace_back(name, c.value());
+  }
+  for (const auto& [name, g] : i->gauges) {
+    snap.gauges.emplace_back(name, g.value());
+  }
+  for (const auto& [name, h] : i->histograms) {
+    snap.histograms.push_back({name, h.bucket_bounds(), h.samples()});
+  }
+  for (const auto& [path, s] : i->spans) snap.spans.emplace_back(path, s);
+  return snap;
+}
+
+void Registry::restore(const MetricsSnapshot& snap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Impl* i = impl();
+  for (auto& [name, c] : i->counters) c.reset();
+  for (auto& [name, g] : i->gauges) g.reset();
+  for (auto& [name, h] : i->histograms) h.reset();
+  i->spans.clear();
+  for (const auto& [name, v] : snap.counters) {
+    i->counters.try_emplace(name).first->second.add(v);
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    i->gauges.try_emplace(name).first->second.set(v);
+  }
+  for (const auto& image : snap.histograms) {
+    // try_emplace only constructs on a miss, so an existing histogram keeps
+    // its bounds; either way the bucket counts are rebuilt from the samples.
+    Histogram& h =
+        i->histograms.try_emplace(image.name, image.bounds).first->second;
+    for (double v : image.samples) h.observe(v);
+  }
+  for (const auto& [path, stats] : snap.spans) i->spans[path] = stats;
+}
+
 namespace {
 
 void write_span_node(std::ostream& os, const std::string& name,
                      const SpanNode& node) {
   os << "{\"name\":";
-  write_json_escaped(os, name);
+  write_escaped(os, name);
   os << ",\"count\":" << node.stats.count << ",\"total_ms\":";
-  write_json_number(os, node.stats.total_seconds * 1e3);
+  write_number(os, node.stats.total_seconds * 1e3);
   os << ",\"mean_ms\":";
-  write_json_number(os, node.stats.count
+  write_number(os, node.stats.count
                             ? node.stats.total_seconds * 1e3 /
                                   static_cast<double>(node.stats.count)
                             : 0.0);
   os << ",\"min_ms\":";
-  write_json_number(os, node.stats.min_seconds * 1e3);
+  write_number(os, node.stats.min_seconds * 1e3);
   os << ",\"max_ms\":";
-  write_json_number(os, node.stats.max_seconds * 1e3);
+  write_number(os, node.stats.max_seconds * 1e3);
   os << ",\"children\":[";
   bool first = true;
   for (const auto& [child_name, child] : node.children) {
@@ -290,7 +303,7 @@ void Registry::write_json(std::ostream& os) const {
   for (const auto& [name, c] : i->counters) {
     if (!first) os << ',';
     first = false;
-    write_json_escaped(os, name);
+    write_escaped(os, name);
     os << ':' << c.value();
   }
   os << "},\"gauges\":{";
@@ -298,32 +311,32 @@ void Registry::write_json(std::ostream& os) const {
   for (const auto& [name, g] : i->gauges) {
     if (!first) os << ',';
     first = false;
-    write_json_escaped(os, name);
+    write_escaped(os, name);
     os << ':';
-    write_json_number(os, g.value());
+    write_number(os, g.value());
   }
   os << "},\"histograms\":{";
   first = true;
   for (const auto& [name, h] : i->histograms) {
     if (!first) os << ',';
     first = false;
-    write_json_escaped(os, name);
+    write_escaped(os, name);
     os << ":{\"count\":" << h.count() << ",\"min\":";
-    write_json_number(os, h.min());
+    write_number(os, h.min());
     os << ",\"max\":";
-    write_json_number(os, h.max());
+    write_number(os, h.max());
     os << ",\"mean\":";
-    write_json_number(os, h.mean());
+    write_number(os, h.mean());
     static constexpr double kExportPcts[] = {50, 90, 95, 99};
     const std::vector<double> pct = h.percentiles(kExportPcts);
     os << ",\"p50\":";
-    write_json_number(os, pct[0]);
+    write_number(os, pct[0]);
     os << ",\"p90\":";
-    write_json_number(os, pct[1]);
+    write_number(os, pct[1]);
     os << ",\"p95\":";
-    write_json_number(os, pct[2]);
+    write_number(os, pct[2]);
     os << ",\"p99\":";
-    write_json_number(os, pct[3]);
+    write_number(os, pct[3]);
     os << ",\"buckets\":[";
     const auto& bounds = h.bucket_bounds();
     const auto counts = h.bucket_counts();
@@ -331,7 +344,7 @@ void Registry::write_json(std::ostream& os) const {
       if (b) os << ',';
       os << "{\"le\":";
       if (b < bounds.size()) {
-        write_json_number(os, bounds[b]);
+        write_number(os, bounds[b]);
       } else {
         os << "null";  // overflow bucket
       }

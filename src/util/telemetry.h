@@ -39,6 +39,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #if defined(METIS_TELEMETRY_DISABLED)
@@ -74,6 +75,26 @@ struct SpanStats {
   double total_seconds = 0;
   double min_seconds = 0;
   double max_seconds = 0;
+
+  bool operator==(const SpanStats&) const = default;
+};
+
+/// Point-in-time image of the whole registry, produced by
+/// Registry::snapshot() and reloadable with Registry::restore().  This is
+/// what the persistence layer (src/persist/) writes into a checkpoint so a
+/// restored run's decision counters continue from the values the
+/// interrupted run had accumulated.  Plain data, defined in both telemetry
+/// modes (an OFF-mode snapshot is simply empty).
+struct MetricsSnapshot {
+  struct HistogramImage {
+    std::string name;
+    std::vector<double> bounds;   ///< bucket edges (never empty)
+    std::vector<double> samples;  ///< raw samples in observation order
+  };
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramImage> histograms;
+  std::vector<std::pair<std::string, SpanStats>> spans;
 };
 
 #if METIS_TELEMETRY_ENABLED
@@ -172,6 +193,14 @@ class Registry {
   /// Zeroes every counter/gauge/histogram and drops span aggregates.
   /// Handles remain valid.
   void reset();
+
+  /// Copies every metric's current value (histograms keep their raw
+  /// samples, spans their aggregates) into a restorable image.
+  MetricsSnapshot snapshot() const;
+  /// Resets the registry, then reloads it from `snap` (histogram bucket
+  /// counts are recomputed by replaying the samples).  Handles stay valid;
+  /// metrics absent from `snap` read zero afterwards.
+  void restore(const MetricsSnapshot& snap);
 
   /// JSON export: {"telemetry":true,"counters":{...},"gauges":{...},
   /// "histograms":{...},"spans":[...nested tree...]}.  Deterministic key
@@ -276,6 +305,8 @@ class Registry {
   SpanStats span(std::string_view) const { return {}; }
   std::vector<std::string> span_paths() const { return {}; }
   void reset() {}
+  MetricsSnapshot snapshot() const { return {}; }
+  void restore(const MetricsSnapshot&) {}
   void write_json(std::ostream& os) const;
   std::string to_json() const { return "{\"telemetry\":false}"; }
   std::string to_table() const { return "(telemetry compiled out)\n"; }

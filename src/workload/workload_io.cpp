@@ -9,13 +9,17 @@
 namespace metis::workload {
 
 namespace {
-[[noreturn]] void fail(int line, const std::string& message) {
-  throw std::runtime_error("workload parse error at line " +
+[[noreturn]] void fail_at(const std::string& source, int line,
+                          const std::string& message) {
+  throw std::runtime_error("workload parse error at " + source + ":" +
                            std::to_string(line) + ": " + message);
 }
 }  // namespace
 
-Workload read_workload(std::istream& in) {
+Workload read_workload(std::istream& in, const std::string& source) {
+  const auto fail = [&source](int line, const std::string& message) {
+    fail_at(source, line, message);
+  };
   Workload w;
   bool have_slots = false;
   std::string line;
@@ -49,14 +53,17 @@ Workload read_workload(std::istream& in) {
       fail(line_no, "unknown keyword: " + keyword);
     }
   }
-  if (!have_slots) throw std::runtime_error("workload parse error: no slots line");
+  if (!have_slots) {
+    throw std::runtime_error("workload parse error in " + source +
+                             ": no slots line");
+  }
   return w;
 }
 
 Workload read_workload_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open workload file: " + path);
-  return read_workload(in);
+  return read_workload(in, path);
 }
 
 void write_workload(std::ostream& out, const Workload& workload) {

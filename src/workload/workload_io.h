@@ -18,7 +18,11 @@ struct Workload {
   std::vector<Request> requests;
 };
 
-Workload read_workload(std::istream& in);
+/// Parses a workload; throws std::runtime_error on error.  Every diagnostic
+/// names the source and line ("workload parse error at <source>:<line>:
+/// ..."); `source` defaults to "<input>" for stream input, and
+/// read_workload_file passes the file path.
+Workload read_workload(std::istream& in, const std::string& source = "<input>");
 Workload read_workload_file(const std::string& path);
 
 void write_workload(std::ostream& out, const Workload& workload);

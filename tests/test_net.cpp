@@ -382,7 +382,7 @@ TEST(TopologyIo, ParsesLinkShorthandAndComments) {
   EXPECT_EQ(topo.edge(0).capacity_units, 4);
 }
 
-TEST(TopologyIo, ErrorsCarryLineNumbers) {
+TEST(TopologyIo, ErrorsCarrySourceAndLineNumbers) {
   std::stringstream missing_nodes("edge 0 1 1\n");
   EXPECT_THROW(read_topology(missing_nodes), std::runtime_error);
   std::stringstream bad_keyword("nodes 2\nfrobnicate\n");
@@ -390,7 +390,8 @@ TEST(TopologyIo, ErrorsCarryLineNumbers) {
     read_topology(bad_keyword);
     FAIL() << "expected parse error";
   } catch (const std::runtime_error& e) {
-    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    // Diagnostics carry "<source>:<line>" ("<input>" for stream input).
+    EXPECT_NE(std::string(e.what()).find("at <input>:2:"), std::string::npos);
   }
 }
 

@@ -139,6 +139,22 @@ class Comparator:
             self.fail(f"{path}[{label}]", "row not present in the baseline")
 
 
+def load_json(path: str, role: str):
+    """Reads one input; a missing or malformed file is a usage error (a
+    clean diagnostic and exit code 2), never a traceback."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        sys.stderr.write(
+            f"check_bench_regression: cannot read {role} file: {e}\n")
+    except json.JSONDecodeError as e:
+        sys.stderr.write(
+            f"check_bench_regression: {role} file {path} is not valid "
+            f"JSON: {e}\n")
+    return None
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True,
@@ -170,10 +186,12 @@ def main() -> int:
             sys.stderr.write(f"bench exited with {run.returncode}\n")
             return 1
 
-    with open(args.baseline) as f:
-        baseline = json.load(f)
-    with open(current_path) as f:
-        current = json.load(f)
+    baseline = load_json(args.baseline, "baseline")
+    if baseline is None:
+        return 2
+    current = load_json(current_path, "current")
+    if current is None:
+        return 2
 
     comparator = Comparator(args.rel_tol, args.allow_subset)
     comparator.compare("$", baseline, current)
